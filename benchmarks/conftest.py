@@ -1,0 +1,6 @@
+"""Make the benchmarks directory importable for its shared helpers."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

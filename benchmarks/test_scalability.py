@@ -1,0 +1,82 @@
+"""Scalability sweep: iteration delay and directory load vs trainer count.
+
+Not a paper figure, but the question a deployer asks first.  The paper's
+architecture argument predicts: with the model partitioned over a fixed
+aggregator set, per-aggregator download volume grows linearly in the
+trainer count (D = (|T_ij| + |A_i| - 1)·S), so the collection window
+grows linearly — while the *directory* handles O(trainers × partitions)
+metadata messages, which is why Sec. VI worries about its load.
+"""
+
+from _helpers import dummy_datasets, save_table
+
+from repro.analysis import Sweep, format_table
+from repro.core import FLSession, ProtocolConfig
+from repro.ml import SyntheticModel
+
+TRAINER_COUNTS = [4, 8, 16, 32]
+MODEL_PARAMS = 40_000  # small partitions: metadata effects visible
+NUM_PARTITIONS = 4
+
+
+def run_with_trainers(num_trainers: int) -> dict:
+    config = ProtocolConfig(
+        num_partitions=NUM_PARTITIONS,
+        t_train=600.0,
+        t_sync=1200.0,
+        update_mode="gradient",
+        poll_interval=0.25,
+    )
+    session = FLSession(
+        config,
+        lambda: SyntheticModel(MODEL_PARAMS),
+        dummy_datasets(num_trainers),
+        num_ipfs_nodes=8,
+        bandwidth_mbps=10.0,
+    )
+    metrics = session.run_iteration()
+    return {
+        "collection": metrics.collection_time,
+        "end_to_end": metrics.end_to_end_delay,
+        "registrations": session.directory.register_count,
+        "lookups": session.directory.lookup_count,
+        "completed": len(metrics.trainers_completed),
+        "trainers": num_trainers,
+    }
+
+
+def test_scalability_in_trainers(benchmark):
+    outcome = {}
+
+    def experiment():
+        outcome["results"] = Sweep("trainers", TRAINER_COUNTS).run(
+            run_with_trainers
+        )
+
+    benchmark.pedantic(experiment, rounds=1, iterations=1)
+    results = outcome["results"]
+
+    save_table("scalability", format_table(
+        ["trainers", "collection (s)", "end-to-end (s)",
+         "dir registers", "dir lookups"],
+        [[row["trainers"], row["collection"], row["end_to_end"],
+          row["registrations"], row["lookups"]]
+         for row in results.values()],
+        title=f"Scalability in trainer count ({NUM_PARTITIONS} partitions, "
+              "8 IPFS nodes, 10 Mbps)",
+    ))
+
+    rows = results.values()
+    # Every configuration completes fully.
+    assert all(row["completed"] == row["trainers"] for row in rows)
+    # Collection grows with trainers (the linear D formula) ...
+    collections = [row["collection"] for row in rows]
+    assert collections == sorted(collections)
+    # ... roughly linearly: 8x the trainers within ~16x the window
+    # (slack for polling quantization at the small end).
+    assert collections[-1] < collections[0] * 16
+    # Directory registrations grow linearly: trainers x partitions + the
+    # per-partition updates.
+    for row in rows:
+        expected = row["trainers"] * NUM_PARTITIONS + NUM_PARTITIONS
+        assert row["registrations"] == expected

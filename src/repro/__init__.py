@@ -1,0 +1,39 @@
+"""repro — reproduction of "Towards Efficient Decentralized Federated
+Learning" (Pappas et al., ICDCS 2022).
+
+A decentralized federated-learning system where participants communicate
+*indirectly* through a (simulated) IPFS storage network, with verifiable
+aggregation via homomorphic Pedersen vector commitments and the
+merge-and-download provider-side pre-aggregation optimization.
+
+Subpackages
+-----------
+- :mod:`repro.sim` — discrete-event simulation kernel.
+- :mod:`repro.net` — flow-level network emulator (mininet substitute).
+- :mod:`repro.ipfs` — simulated IPFS: CIDs, DHT, nodes, pub/sub,
+  replication, merge-and-download.
+- :mod:`repro.crypto` — secp256k1/secp256r1, multi-exponentiation,
+  Pedersen vector commitments (from scratch).
+- :mod:`repro.ml` — models, federated datasets, local training, FedAvg.
+- :mod:`repro.core` — the protocol: directory service, trainers,
+  aggregators, bootstrapper, verification, adversaries, sessions.
+- :mod:`repro.baselines` — IPLS-direct, centralized FL, blockchain FL.
+- :mod:`repro.analysis` — analytic delay/provider models and result tables.
+
+Quickstart
+----------
+>>> from repro.core import FLSession, ProtocolConfig
+>>> from repro.ml import LogisticRegression, make_classification, split_iid
+>>> data = make_classification(num_samples=320, num_features=10)
+>>> shards = split_iid(data, 4)
+>>> session = FLSession(
+...     ProtocolConfig(num_partitions=2, t_train=300, t_sync=900),
+...     model_factory=lambda: LogisticRegression(num_features=10),
+...     datasets=shards,
+... )
+>>> _ = session.run(rounds=1)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,54 @@
+"""Closed-form delay predictions for the non-merge protocol paths.
+
+Back-of-envelope models used to sanity-check the simulator and to explain
+benchmark output:
+
+- An aggregator downloads ``(|T_ij| + |A_i| - 1)`` partitions per
+  iteration (Sec. III-E's D formula).
+- At bandwidth ``b`` that serializes to ``D / b`` seconds when the
+  aggregator's downlink is the bottleneck.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "aggregator_download_bytes",
+    "naive_aggregation_time",
+    "upload_time",
+]
+
+
+def aggregator_download_bytes(
+    trainers_per_aggregator: int,
+    aggregators_per_partition: int,
+    partition_bytes: float,
+) -> float:
+    """The paper's D = (|T_ij| + |A_i| - 1) * Partition_Size."""
+    if trainers_per_aggregator < 0 or aggregators_per_partition < 1:
+        raise ValueError("invalid participant counts")
+    return (
+        (trainers_per_aggregator + aggregators_per_partition - 1)
+        * partition_bytes
+    )
+
+
+def naive_aggregation_time(
+    trainers_per_aggregator: int,
+    partition_bytes: float,
+    aggregator_bandwidth: float,
+) -> float:
+    """Serialized download time of all gradients through one downlink."""
+    if aggregator_bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return trainers_per_aggregator * partition_bytes / aggregator_bandwidth
+
+
+def upload_time(
+    partition_bytes: float,
+    num_partitions: int,
+    trainer_bandwidth: float,
+) -> float:
+    """A trainer's serialized upload of all its partitions."""
+    if trainer_bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    return num_partitions * partition_bytes / trainer_bandwidth

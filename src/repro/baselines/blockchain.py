@@ -1,0 +1,338 @@
+"""Baseline: flexibly-coupled blockchain federated learning (BCFL).
+
+The architecture the paper contrasts against (Sec. I): "trainers just
+upload their updates to the blockchain, while miners are responsible for
+aggregating the trainers' updates and producing the global model … miners
+have to store all updates into the blockchain, and those who serve as
+aggregators have to download and aggregate every single update", with
+gradient broadcast "blowing up communication".
+
+We implement a faithful miniature: a hash-linked chain replicated on
+every miner, trainer updates broadcast miner-to-miner, a round-robin
+leader aggregating everything into the next block, and full replication
+of update payloads — so the storage and traffic blow-up is measurable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ml import Dataset, Model, compute_gradient, local_update
+from ..net import Network, Transport, mbps
+from ..sim import Simulator
+from ..core.config import ProtocolConfig
+from ..core.partition import decode_partition, encode_partition, \
+    sum_encoded_partitions
+from ..core.telemetry import IterationMetrics, SessionMetrics
+
+__all__ = ["Block", "Chain", "BlockchainFLSession"]
+
+KIND_SUBMIT = "bcfl.submit"
+KIND_GOSSIP = "bcfl.gossip"
+KIND_BLOCK = "bcfl.block"
+KIND_MODEL = "bcfl.model"
+KIND_MODEL_REQUEST = "bcfl.model.request"
+MESSAGE_OVERHEAD = 128
+BLOCK_HEADER_SIZE = 256
+
+
+@dataclass(frozen=True)
+class Block:
+    """One block: header plus the round's update digests and aggregate."""
+
+    index: int
+    prev_hash: str
+    iteration: int
+    update_hashes: tuple
+    aggregate_hash: str
+
+    @property
+    def hash(self) -> str:
+        header = (
+            f"{self.index}|{self.prev_hash}|{self.iteration}|"
+            + "|".join(self.update_hashes) + f"|{self.aggregate_hash}"
+        )
+        return hashlib.sha256(header.encode("utf-8")).hexdigest()
+
+
+GENESIS = Block(index=0, prev_hash="0" * 64, iteration=-1,
+                update_hashes=(), aggregate_hash="")
+
+
+@dataclass
+class Chain:
+    """A miner's replica of the ledger plus its payload store."""
+
+    blocks: List[Block] = field(default_factory=lambda: [GENESIS])
+    #: Full update payloads, as BCFL miners "have to store all updates".
+    payloads: Dict[str, bytes] = field(default_factory=dict)
+
+    @property
+    def head(self) -> Block:
+        return self.blocks[-1]
+
+    @property
+    def height(self) -> int:
+        return len(self.blocks) - 1
+
+    @property
+    def storage_bytes(self) -> int:
+        return (
+            sum(len(blob) for blob in self.payloads.values())
+            + BLOCK_HEADER_SIZE * len(self.blocks)
+        )
+
+    def append(self, block: Block) -> None:
+        if block.prev_hash != self.head.hash:
+            raise ValueError("block does not extend the chain head")
+        if block.index != self.head.index + 1:
+            raise ValueError("bad block index")
+        self.blocks.append(block)
+
+    def validate(self) -> bool:
+        """Full-chain hash-link check."""
+        for previous, current in zip(self.blocks, self.blocks[1:]):
+            if current.prev_hash != previous.hash:
+                return False
+            if current.index != previous.index + 1:
+                return False
+        return True
+
+
+def blob_hash(blob: bytes) -> str:
+    return hashlib.sha256(blob).hexdigest()
+
+
+class BlockchainFLSession:
+    """BCFL over the emulated network: miners + trainers."""
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        model_factory: Callable[[], Model],
+        datasets: Sequence[Dataset],
+        num_miners: int = 4,
+        bandwidth_mbps: float = 10.0,
+        latency: float = 0.0,
+        sim: Optional[Simulator] = None,
+    ):
+        if not datasets:
+            raise ValueError("need at least one trainer dataset")
+        if num_miners < 1:
+            raise ValueError("need at least one miner")
+        self.config = config
+        self.sim = sim or Simulator()
+        self.network = Network(self.sim, default_latency=latency)
+        self.trainer_names = [f"trainer-{i}" for i in range(len(datasets))]
+        self.miner_names = [f"miner-{i}" for i in range(num_miners)]
+        for name in self.trainer_names + self.miner_names:
+            self.network.add_host(name, up_bandwidth=mbps(bandwidth_mbps))
+        self.transport = Transport(self.network)
+        for name in self.trainer_names + self.miner_names:
+            self.transport.endpoint(name)
+        self._template = model_factory()
+        self.models: Dict[str, Model] = {
+            name: self._template.clone() for name in self.trainer_names
+        }
+        self.datasets = dict(zip(self.trainer_names, datasets))
+        self.chains: Dict[str, Chain] = {
+            name: Chain() for name in self.miner_names
+        }
+        self.metrics = SessionMetrics()
+        self._iteration = 0
+
+    def _entry_miner(self, trainer: str) -> str:
+        index = self.trainer_names.index(trainer)
+        return self.miner_names[index % len(self.miner_names)]
+
+    def _leader(self, iteration: int) -> str:
+        return self.miner_names[iteration % len(self.miner_names)]
+
+    # -- processes ---------------------------------------------------------------
+
+    def _trainer_proc(self, name: str, iteration: int,
+                      metrics: IterationMetrics):
+        endpoint = self.transport.endpoint(name)
+        model = self.models[name]
+        if self.config.update_mode == "params":
+            delta = local_update(
+                model, self.datasets[name], self.config.train,
+                seed=self.config.seed + self.trainer_names.index(name)
+                + 7919 * iteration,
+            )
+            vector = model.get_params() + delta
+        else:
+            vector = compute_gradient(model, self.datasets[name])
+        blob = encode_partition(vector, 1.0)
+        upload_started = self.sim.now
+        yield endpoint.send(
+            self._entry_miner(name), KIND_SUBMIT,
+            payload={"trainer": name, "iteration": iteration, "blob": blob},
+            size=len(blob) + MESSAGE_OVERHEAD,
+        )
+        metrics.upload_delays[name] = self.sim.now - upload_started
+        message = yield endpoint.receive(kind=KIND_MODEL)
+        values, counter = decode_partition(message.payload["blob"])
+        averaged = values / counter
+        if self.config.update_mode == "params":
+            model.set_params(averaged)
+        else:
+            model.set_params(
+                model.get_params() - self.config.learning_rate * averaged
+            )
+        metrics.trainers_completed.append(name)
+
+    def _miner_proc(self, name: str, iteration: int,
+                    metrics: IterationMetrics):
+        endpoint = self.transport.endpoint(name)
+        chain = self.chains[name]
+        is_leader = self._leader(iteration) == name
+        expected_updates = len(self.trainer_names)
+        updates: Dict[str, bytes] = {}
+        block_received = None
+
+        while len(updates) < expected_updates or (
+            not is_leader and block_received is None
+        ):
+            message = yield endpoint.inbox.get(
+                lambda m: m.kind in (KIND_SUBMIT, KIND_GOSSIP, KIND_BLOCK)
+            )
+            payload = message.payload
+            if message.kind == KIND_SUBMIT:
+                if payload["iteration"] != iteration:
+                    continue
+                if metrics.first_gradient_at is None:
+                    metrics.first_gradient_at = self.sim.now
+                blob = payload["blob"]
+                updates[payload["trainer"]] = blob
+                chain.payloads[blob_hash(blob)] = blob
+                metrics.bytes_received[name] = (
+                    metrics.bytes_received.get(name, 0.0)
+                    + len(blob) + MESSAGE_OVERHEAD
+                )
+                # Gossip the update to every other miner (the broadcast
+                # blow-up the paper criticizes).
+                for peer in self.miner_names:
+                    if peer != name:
+                        endpoint.send(
+                            peer, KIND_GOSSIP, payload=payload,
+                            size=len(blob) + MESSAGE_OVERHEAD,
+                        )
+            elif message.kind == KIND_GOSSIP:
+                if payload["iteration"] != iteration:
+                    continue
+                blob = payload["blob"]
+                updates[payload["trainer"]] = blob
+                chain.payloads[blob_hash(blob)] = blob
+                metrics.bytes_received[name] = (
+                    metrics.bytes_received.get(name, 0.0)
+                    + len(blob) + MESSAGE_OVERHEAD
+                )
+            elif message.kind == KIND_BLOCK:
+                block_received = payload["block"]
+                aggregate = payload["aggregate"]
+                chain.payloads[blob_hash(aggregate)] = aggregate
+                chain.append(block_received)
+                metrics.bytes_received[name] = (
+                    metrics.bytes_received.get(name, 0.0)
+                    + len(aggregate) + BLOCK_HEADER_SIZE
+                )
+
+        metrics.gradients_aggregated_at[name] = self.sim.now
+        if not is_leader:
+            return
+
+        # Leader: aggregate everything, forge the block, broadcast it.
+        aggregate = sum_encoded_partitions(list(updates.values()))
+        block = Block(
+            index=chain.head.index + 1,
+            prev_hash=chain.head.hash,
+            iteration=iteration,
+            update_hashes=tuple(sorted(
+                blob_hash(blob) for blob in updates.values()
+            )),
+            aggregate_hash=blob_hash(aggregate),
+        )
+        chain.payloads[blob_hash(aggregate)] = aggregate
+        chain.append(block)
+        block_sends = [
+            endpoint.send(
+                peer, KIND_BLOCK,
+                payload={"block": block, "aggregate": aggregate},
+                size=len(aggregate) + BLOCK_HEADER_SIZE,
+            )
+            for peer in self.miner_names if peer != name
+        ]
+        model_sends = [
+            endpoint.send(
+                trainer, KIND_MODEL,
+                payload={"iteration": iteration, "blob": aggregate},
+                size=len(aggregate) + MESSAGE_OVERHEAD,
+            )
+            for trainer in self.trainer_names
+        ]
+        yield self.sim.all_of(block_sends + model_sends)
+        metrics.update_registered_at[name] = self.sim.now
+
+    # -- driving rounds ------------------------------------------------------------
+
+    def run_iteration(self) -> IterationMetrics:
+        """One BCFL round; returns its metrics."""
+        iteration = self._iteration
+        self._iteration += 1
+        metrics = IterationMetrics(iteration=iteration,
+                                   started_at=self.sim.now)
+
+        def driver():
+            processes = [
+                self.sim.process(
+                    self._trainer_proc(name, iteration, metrics),
+                    name=f"{name}:i{iteration}",
+                )
+                for name in self.trainer_names
+            ] + [
+                self.sim.process(
+                    self._miner_proc(name, iteration, metrics),
+                    name=f"{name}:i{iteration}",
+                )
+                for name in self.miner_names
+            ]
+            yield self.sim.all_of(processes)
+
+        driver_proc = self.sim.process(driver(), name=f"bcfl:{iteration}")
+        self.sim.run_until(driver_proc)
+        if not driver_proc.ok:
+            raise driver_proc.value
+        metrics.finished_at = self.sim.now
+        self.metrics.iterations.append(metrics)
+        return metrics
+
+    def run(self, rounds: int) -> SessionMetrics:
+        for _ in range(rounds):
+            self.run_iteration()
+        return self.metrics
+
+    # -- results ---------------------------------------------------------------------
+
+    def consensus_params(self) -> np.ndarray:
+        reference = self.models[self.trainer_names[0]].get_params()
+        for name in self.trainer_names[1:]:
+            if not np.allclose(self.models[name].get_params(), reference,
+                               atol=1e-12):
+                raise AssertionError(f"{name} diverged")
+        return reference
+
+    def total_miner_storage(self) -> int:
+        """Bytes stored across all miner replicas (the blow-up)."""
+        return sum(chain.storage_bytes for chain in self.chains.values())
+
+    def chains_consistent(self) -> bool:
+        """All miners hold the same valid chain."""
+        heads = {chain.head.hash for chain in self.chains.values()}
+        return len(heads) == 1 and all(
+            chain.validate() for chain in self.chains.values()
+        )

@@ -1,0 +1,283 @@
+"""Command-line interface.
+
+Run protocol experiments without writing code::
+
+    python -m repro.cli train --trainers 8 --rounds 3 --verifiable
+    python -m repro.cli providers-sweep --trainers 16
+    python -m repro.cli commit-cost --sizes 1000 4000
+
+Subcommands
+-----------
+``train``
+    Run federated training on a synthetic classification task and print
+    per-round telemetry (delays, bytes, accuracy).
+``providers-sweep``
+    The Fig. 1 experiment: merge-and-download delays vs provider count.
+``commit-cost``
+    The Fig. 3 experiment: SHA-256 vs Pedersen commitment cost by size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from .analysis import format_table, optimal_providers
+from .core import FLSession, ProtocolConfig
+from .crypto import sha256
+from .core.verification import PartitionCommitter
+from .ml import (
+    Dataset,
+    LogisticRegression,
+    SyntheticModel,
+    TrainConfig,
+    accuracy,
+    make_classification,
+    split_dirichlet,
+    split_iid,
+    train_test_split,
+)
+from .net import mbps, megabytes
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Decentralized federated learning over simulated IPFS "
+                    "(ICDCS 2022 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    train = subparsers.add_parser(
+        "train", help="run federated training on synthetic data"
+    )
+    train.add_argument("--trainers", type=int, default=8)
+    train.add_argument("--rounds", type=int, default=3)
+    train.add_argument("--partitions", type=int, default=4)
+    train.add_argument("--aggregators-per-partition", type=int, default=1)
+    train.add_argument("--ipfs-nodes", type=int, default=8)
+    train.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    train.add_argument("--features", type=int, default=16)
+    train.add_argument("--samples", type=int, default=1000)
+    train.add_argument("--verifiable", action="store_true")
+    train.add_argument("--merge-and-download", action="store_true")
+    train.add_argument("--providers", type=int, default=0,
+                       help="providers per aggregator (0 = sqrt optimum)")
+    train.add_argument("--non-iid", action="store_true",
+                       help="Dirichlet(0.5) shards instead of IID")
+    train.add_argument("--seed", type=int, default=0)
+
+    sweep = subparsers.add_parser(
+        "providers-sweep",
+        help="Fig. 1: delays vs number of IPFS providers",
+    )
+    sweep.add_argument("--trainers", type=int, default=16)
+    sweep.add_argument("--partition-mb", type=float, default=1.3)
+    sweep.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    sweep.add_argument("--providers", type=int, nargs="+",
+                       default=[1, 2, 4, 8, 16])
+
+    cost = subparsers.add_parser(
+        "commit-cost",
+        help="Fig. 3: SHA-256 vs Pedersen commitment cost",
+    )
+    cost.add_argument("--sizes", type=int, nargs="+",
+                      default=[1000, 4000])
+    cost.add_argument("--curves", nargs="+",
+                      default=["secp256k1", "secp256r1"])
+
+    reproduce = subparsers.add_parser(
+        "reproduce",
+        help="run the paper-figure benchmarks (writes tables under "
+             "benchmarks/results/)",
+    )
+    reproduce.add_argument(
+        "--figures", nargs="+", default=["fig1", "fig2", "fig3"],
+        choices=["fig1", "fig2", "fig3", "all"],
+    )
+    return parser
+
+
+# -- train -----------------------------------------------------------------------
+
+
+def _run_train(args) -> int:
+    data = make_classification(
+        num_samples=args.samples, num_features=args.features,
+        class_separation=2.5, seed=args.seed,
+    )
+    train_set, test_set = train_test_split(data, seed=args.seed)
+    if args.non_iid:
+        shards = split_dirichlet(train_set, args.trainers, alpha=0.5,
+                                 seed=args.seed)
+    else:
+        shards = split_iid(train_set, args.trainers, seed=args.seed)
+
+    config = ProtocolConfig(
+        num_partitions=args.partitions,
+        aggregators_per_partition=args.aggregators_per_partition,
+        t_train=600.0,
+        t_sync=1200.0,
+        verifiable=args.verifiable,
+        merge_and_download=args.merge_and_download,
+        providers_per_aggregator=args.providers,
+        seed=args.seed,
+    )
+    config.train = TrainConfig(epochs=2, learning_rate=0.5, batch_size=32)
+    session = FLSession(
+        config,
+        model_factory=lambda: LogisticRegression(
+            num_features=args.features, num_classes=2, seed=0),
+        datasets=shards,
+        num_ipfs_nodes=args.ipfs_nodes,
+        bandwidth_mbps=args.bandwidth_mbps,
+    )
+    print(f"{args.trainers} trainers, {args.partitions} partitions x "
+          f"{args.aggregators_per_partition} aggregators, "
+          f"{args.ipfs_nodes} IPFS nodes @ {args.bandwidth_mbps} Mbps"
+          + (", verifiable" if args.verifiable else "")
+          + (", merge-and-download" if args.merge_and_download else ""))
+    rows = []
+    for round_index in range(args.rounds):
+        metrics = session.run_iteration()
+        rows.append([
+            round_index,
+            metrics.duration,
+            metrics.aggregation_delay,
+            metrics.mean_upload_delay,
+            len(metrics.trainers_completed),
+            accuracy(session.model_of(0), test_set),
+        ])
+    print(format_table(
+        ["round", "duration (s)", "agg delay (s)", "upload (s)",
+         "completed", "accuracy"],
+        rows,
+    ))
+    session.consensus_params()
+    print("all trainers hold the identical global model")
+    return 0
+
+
+# -- providers-sweep ---------------------------------------------------------------
+
+
+def _run_providers_sweep(args) -> int:
+    partition_params = int(megabytes(args.partition_mb) / 8)
+    shards = [
+        Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
+        for index in range(args.trainers)
+    ]
+    rows = []
+    for providers in args.providers:
+        config = ProtocolConfig(
+            num_partitions=1,
+            t_train=3600.0,
+            t_sync=7200.0,
+            merge_and_download=True,
+            providers_per_aggregator=providers,
+            update_mode="gradient",
+            poll_interval=0.25,
+        )
+        session = FLSession(
+            config,
+            model_factory=lambda: SyntheticModel(partition_params),
+            datasets=shards,
+            num_ipfs_nodes=max(args.providers),
+            bandwidth_mbps=args.bandwidth_mbps,
+        )
+        metrics = session.run_iteration()
+        rows.append([
+            providers,
+            metrics.mean_upload_delay,
+            metrics.aggregation_delay,
+            metrics.end_to_end_delay,
+        ])
+    print(format_table(
+        ["providers", "upload (s)", "aggregation (s)", "end-to-end (s)"],
+        rows,
+        title=f"{args.trainers} trainers, {args.partition_mb} MB "
+              f"partition, {args.bandwidth_mbps} Mbps",
+    ))
+    bandwidth = mbps(args.bandwidth_mbps)
+    p_star = optimal_providers(args.trainers, node_bandwidth=bandwidth,
+                               aggregator_bandwidth=bandwidth)
+    print(f"\nanalytic optimum sqrt(b*T/d) = {p_star:.1f} providers")
+    return 0
+
+
+# -- commit-cost ---------------------------------------------------------------------
+
+
+def _run_commit_cost(args) -> int:
+    rng = np.random.default_rng(0)
+    rows = []
+    for size in args.sizes:
+        vector = rng.normal(size=size)
+        started = time.perf_counter()
+        sha256(vector.tobytes())
+        hash_seconds = time.perf_counter() - started
+        row = [size, hash_seconds]
+        for curve in args.curves:
+            committer = PartitionCommitter(partition_len=size, curve=curve)
+            started = time.perf_counter()
+            committer.encode_and_commit(vector)
+            row.append(time.perf_counter() - started)
+        rows.append(row)
+    print(format_table(
+        ["params", "sha256 (s)"] + [f"{curve} (s)" for curve in args.curves],
+        rows,
+        title="commitment cost by model size",
+    ))
+    return 0
+
+
+def _run_reproduce(args) -> int:
+    import pytest as pytest_module
+    targets = {
+        "fig1": "test_fig1_providers.py",
+        "fig2": "test_fig2_aggregators.py",
+        "fig3": "test_fig3_commitments.py",
+    }
+    figures = args.figures
+    if "all" in figures:
+        selection = None  # the whole benchmarks directory
+    else:
+        selection = [targets[figure] for figure in figures]
+    import os
+    bench_dir = os.path.join(
+        os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__)
+        ))),
+        "benchmarks",
+    )
+    if not os.path.isdir(bench_dir):
+        print("benchmarks/ directory not found next to the package; "
+              "run from a source checkout")
+        return 1
+    paths = ([bench_dir] if selection is None
+             else [os.path.join(bench_dir, name) for name in selection])
+    return pytest_module.main(paths + ["--benchmark-only", "-q"])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "train":
+        return _run_train(args)
+    if args.command == "providers-sweep":
+        return _run_providers_sweep(args)
+    if args.command == "commit-cost":
+        return _run_commit_cost(args)
+    if args.command == "reproduce":
+        return _run_reproduce(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

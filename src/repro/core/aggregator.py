@@ -1,0 +1,390 @@
+"""The aggregator role (Algorithm 1, ``AGGREGATOR`` + Sec. IV-B sync).
+
+Per iteration an aggregator responsible for partition ``i``:
+
+1. polls the directory for its trainers' gradient CIDs and downloads them
+   — either individually, or via *merge-and-download* requests that make
+   each provider node pre-aggregate the gradients it stores (Sec. III-E),
+2. sums them into its partial update,
+3. if it shares the partition with peers (|A_i| > 1): uploads the partial,
+   announces its CID over pub/sub, collects and (in verifiable mode)
+   checks the peers' partials against the directory's per-aggregator
+   accumulated commitments, taking over a silent peer's trainers after a
+   grace period,
+4. uploads the globally updated partition; the directory keeps the first
+   (verified) registration.
+
+Malicious behaviours plug in via :class:`~repro.core.adversary.
+AggregatorBehavior` and tamper with steps 2 and 4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import numpy as np
+
+from ..crypto import Commitment
+from ..ipfs import DHT, IPFSClient, IPFSError, PubSub
+from ..net import Transport
+from ..sim import Simulator
+from .addressing import Address, GRADIENT, PARTIAL_UPDATE, UPDATE
+from .adversary import AggregatorBehavior, HonestBehavior
+from .bootstrapper import Assignment
+from .config import ProtocolConfig
+from .directory import DirectoryClient
+from .partition import decode_partition, encode_partition, \
+    sum_encoded_partitions
+from .schedule import IterationSchedule
+from .telemetry import IterationMetrics
+from .verification import CommitmentCostModel, PartitionCommitter
+
+__all__ = ["Aggregator", "sync_topic"]
+
+CID_WIRE_SIZE = 64
+
+
+def sync_topic(partition_id: int, iteration: int) -> str:
+    """The pub/sub topic aggregators of one partition synchronize on."""
+    return f"ipls/sync/p{partition_id}/i{iteration}"
+
+
+class Aggregator:
+    """One aggregator participant."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        transport: Transport,
+        dht: DHT,
+        pubsub: PubSub,
+        config: ProtocolConfig,
+        assignment: Assignment,
+        partition_len: int = 0,
+        committer: Optional[PartitionCommitter] = None,
+        behavior: Optional[AggregatorBehavior] = None,
+    ):
+        self.name = name
+        self.sim = sim
+        self.config = config
+        self.assignment = assignment
+        self.pubsub = pubsub
+        self.partition_len = partition_len
+        self.committer = committer
+        self.behavior = behavior or HonestBehavior()
+        self.partition_id = assignment.partition_of[name]
+        self.trainers = list(
+            assignment.trainers_of[(self.partition_id, name)]
+        )
+        self.ipfs = IPFSClient(name, transport, dht,
+                               chunk_size=config.chunk_size)
+        self.directory = DirectoryClient(name, transport)
+        self.cost_model = CommitmentCostModel(config.commit_seconds_per_param)
+        self.dht = dht
+
+    @property
+    def _upload_node(self) -> str:
+        return self.assignment.update_node_of[self.name]
+
+    def _put_with_fallback(self, blob: bytes):
+        """Store ``blob`` on the assigned node, falling back to any live
+        node if it is unreachable.  Returns the CID or None."""
+        candidates = [self._upload_node] + [
+            node for node in self.assignment.storage_nodes
+            if node != self._upload_node
+        ]
+        for node in candidates:
+            try:
+                cid = yield from self.ipfs.put(blob, node=node)
+                return cid
+            except IPFSError:
+                continue
+        return None
+
+    # -- gradient collection ---------------------------------------------------------
+
+    def _collect_gradients(self, schedule: IterationSchedule):
+        """Download this aggregator's trainers' gradients.
+
+        Returns ``(blobs, rows)``: trainer -> encoded partition, and the
+        directory rows (with commitments) that produced them.
+        """
+        pending: Set[str] = set(self.trainers)
+        rows_by_trainer: Dict[str, dict] = {}
+        blobs: Dict[str, bytes] = {}
+        download_procs = []
+
+        def download(row):
+            try:
+                blob = yield from self.ipfs.get(row["cid"])
+            except IPFSError:
+                return
+            blobs[row["uploader_id"]] = blob
+
+        while pending and self.sim.now < schedule.t_sync:
+            results = yield from self.directory.lookup(
+                self.partition_id, schedule.iteration, GRADIENT,
+                aggregator_id=self.name,
+            )
+            new_rows = [row for row in results
+                        if row["uploader_id"] in pending]
+            for row in new_rows:
+                pending.discard(row["uploader_id"])
+                rows_by_trainer[row["uploader_id"]] = row
+                if not self.config.merge_and_download:
+                    download_procs.append(self.sim.process(
+                        download(row),
+                        name=f"{self.name}:dl:{row['uploader_id']}",
+                    ))
+            if not pending:
+                break
+            if self.sim.now >= schedule.t_train:
+                # Late trainers have aborted; stop waiting for them.
+                break
+            yield self.sim.timeout(min(
+                self.config.poll_interval,
+                max(self.config.poll_interval / 10,
+                    schedule.remaining_sync(self.sim.now)),
+            ))
+
+        if self.config.merge_and_download:
+            merged = yield from self._merge_download(
+                list(rows_by_trainer.values())
+            )
+            return merged, rows_by_trainer
+
+        if download_procs:
+            yield self.sim.all_of(download_procs)
+        return blobs, rows_by_trainer
+
+    def _merge_download(self, rows: List[dict]):
+        """Issue one merge-and-download per provider node holding data.
+
+        Falls back to individual downloads for a group whose merged result
+        fails the commitment-product check (malicious/corrupt provider).
+        """
+        groups: Dict[str, List[dict]] = {}
+        for row in rows:
+            providers = yield from self.dht.find_providers(
+                row["cid"], querier=self.name
+            )
+            if not providers:
+                continue
+            groups.setdefault(providers[0], []).append(row)
+
+        results: Dict[str, bytes] = {}
+
+        def fetch_group(node, group):
+            cids = [row["cid"] for row in group]
+            try:
+                merged, _count = yield from self.ipfs.merge_and_download(
+                    cids, node=node
+                )
+            except IPFSError:
+                merged = None
+            if merged is not None and self._merged_is_valid(merged, group):
+                results[node] = merged
+                return
+            # Fallback: fetch and sum each gradient individually.
+            blobs = []
+            for row in group:
+                try:
+                    blob = yield from self.ipfs.get(row["cid"])
+                except IPFSError:
+                    continue
+                blobs.append(blob)
+            if blobs:
+                results[node] = sum_encoded_partitions(blobs)
+
+        procs = [
+            self.sim.process(fetch_group(node, group),
+                             name=f"{self.name}:merge:{node}")
+            for node, group in groups.items()
+        ]
+        if procs:
+            yield self.sim.all_of(procs)
+        # Keyed by provider node, so select_gradients (the adversary hook)
+        # still sees per-source entries.
+        return dict(results)
+
+    def _merged_is_valid(self, merged: bytes, group: List[dict]) -> bool:
+        """Sec. IV: the merged blob must open the product of the group's
+        commitments."""
+        if not self.config.verifiable or self.committer is None:
+            return True
+        commitments = [row["commitment"] for row in group]
+        if any(commitment is None for commitment in commitments):
+            return False
+        expected = Commitment.product(commitments, self.committer.curve)
+        return self.committer.verify_blob(merged, expected)
+
+    # -- synchronization (|A_i| > 1) ----------------------------------------------------
+
+    def _verify_peer_partial(self, peer: str, blob: bytes,
+                             iteration: int):
+        """Check a peer's partial against its accumulated commitment."""
+        if not self.config.verifiable or self.committer is None:
+            return True
+        expected, count = yield from self.directory.accumulated(
+            self.partition_id, iteration, aggregator_id=peer
+        )
+        if expected is None or count == 0:
+            return False
+        delay = self.cost_model.verify_delay(self.committer.partition_len + 1)
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        return self.committer.verify_blob(blob, expected)
+
+    def _takeover(self, peer: str, schedule: IterationSchedule,
+                  metrics: IterationMetrics):
+        """Download a silent peer's trainers' gradients on its behalf."""
+        results = yield from self.directory.lookup(
+            self.partition_id, schedule.iteration, GRADIENT,
+            aggregator_id=peer,
+        )
+        blobs = []
+        for row in results:
+            try:
+                blob = yield from self.ipfs.get(row["cid"])
+            except IPFSError:
+                continue
+            blobs.append(blob)
+        if not blobs:
+            return None
+        metrics.takeovers.append(peer)
+        return sum_encoded_partitions(blobs)
+
+    # -- the per-iteration process --------------------------------------------------------
+
+    def run_iteration(self, schedule: IterationSchedule,
+                      metrics: IterationMetrics):
+        """Process generator executing one round for this aggregator."""
+        peers = self.assignment.peers_of(self.name)
+        subscription = None
+        if peers:
+            subscription = self.pubsub.subscribe(
+                sync_topic(self.partition_id, schedule.iteration), self.name
+            )
+        bytes_start = self.ipfs.bytes_downloaded
+
+        blobs, _rows = yield from self._collect_gradients(schedule)
+        metrics.gradients_aggregated_at[self.name] = self.sim.now
+
+        blobs = self.behavior.select_gradients(blobs)
+        if blobs:
+            partial_blob = sum_encoded_partitions(list(blobs.values()))
+        elif self.partition_len > 0:
+            partial_blob = encode_partition(
+                np.zeros(self.partition_len), 0.0
+            )
+        else:
+            partial_blob = None
+
+        contributions: Dict[str, bytes] = {}
+        if partial_blob is not None:
+            contributions[self.name] = partial_blob
+
+        try:
+            if peers:
+                yield from self._sync_phase(
+                    schedule, metrics, partial_blob, peers, subscription,
+                    contributions,
+                )
+            if not contributions:
+                return
+            if peers:
+                # "Only the first aggregator who achieves the true globally
+                # updated partition writes back to the directory": skip the
+                # upload when a peer already registered this partition.
+                existing = yield from self.directory.lookup(
+                    self.partition_id, schedule.iteration, UPDATE
+                )
+                if existing:
+                    return
+            global_blob = sum_encoded_partitions(
+                list(contributions.values())
+            )
+            _, counter = decode_partition(global_blob)
+            if counter <= 0:
+                return  # nothing aggregated (deadline passed with no data)
+            global_blob = self.behavior.tamper_update(global_blob)
+            cid = yield from self._put_with_fallback(global_blob)
+            if cid is None:
+                return
+            ack = yield from self.directory.register(
+                Address(uploader_id=self.name,
+                        partition_id=self.partition_id,
+                        iteration=schedule.iteration, kind=UPDATE),
+                cid,
+            )
+            if ack.get("accepted"):
+                metrics.update_registered_at[self.name] = self.sim.now
+        finally:
+            if subscription is not None:
+                subscription.cancel()
+            metrics.bytes_received[self.name] = (
+                self.ipfs.bytes_downloaded - bytes_start
+            )
+
+    def _sync_phase(self, schedule, metrics, partial_blob, peers,
+                    subscription, contributions):
+        sync_start = self.sim.now
+        if partial_blob is not None:
+            announced = self.behavior.tamper_update(partial_blob)
+            cid = yield from self._put_with_fallback(announced)
+            if cid is not None:
+                yield from self.directory.register(
+                    Address(uploader_id=self.name,
+                            partition_id=self.partition_id,
+                            iteration=schedule.iteration,
+                            kind=PARTIAL_UPDATE),
+                    cid,
+                )
+                self.pubsub.publish(
+                    sync_topic(self.partition_id, schedule.iteration),
+                    self.name,
+                    payload={"aggregator": self.name, "cid": cid},
+                    size=CID_WIRE_SIZE,
+                )
+
+        pending: Set[str] = set(peers)
+        takeover_at = max(schedule.t_train, self.sim.now) \
+            + self.config.takeover_grace
+        # One persistent queue getter: replaced only after it fires, so an
+        # abandoned getter never swallows a peer's announcement.
+        message_event = subscription.get()
+        while pending and self.sim.now < schedule.t_sync:
+            deadline = min(takeover_at, schedule.t_sync)
+            wait = max(0.0, deadline - self.sim.now)
+            timeout_event = self.sim.timeout(wait)
+            outcome = yield self.sim.any_of([message_event, timeout_event])
+            if message_event in outcome:
+                payload = outcome[message_event].payload
+                message_event = subscription.get()
+                peer = payload["aggregator"]
+                if peer not in pending:
+                    continue
+                try:
+                    blob = yield from self.ipfs.get(payload["cid"])
+                except IPFSError:
+                    continue
+                valid = yield from self._verify_peer_partial(
+                    peer, blob, schedule.iteration
+                )
+                if valid:
+                    pending.discard(peer)
+                    contributions[peer] = blob
+                else:
+                    metrics.verification_failures.append(
+                        f"partial_update/p{self.partition_id}"
+                        f"/i{schedule.iteration}/{peer}"
+                    )
+            elif self.sim.now >= takeover_at:
+                # Grace expired: cover the silent peers' trainer sets.
+                for peer in sorted(pending):
+                    blob = yield from self._takeover(peer, schedule, metrics)
+                    if blob is not None:
+                        contributions[peer] = blob
+                    pending.discard(peer)
+        metrics.sync_delays[self.name] = self.sim.now - sync_start

@@ -1,0 +1,476 @@
+"""The directory service (Sec. III-C, extended with Sec. IV verification).
+
+Maps addressing tuples to IPFS CIDs, accumulates Pedersen commitment
+products per partition (and per aggregator's trainer subset), and — in
+verifiable mode — checks every claimed global update against the
+accumulated commitment before revealing it to trainers.
+
+Run by the trusted bootstrapper: "the directory service receives orders of
+magnitude fewer data per iteration than the aggregators combined do".  The
+implementation is a server process on the emulated network answering
+register/lookup/accumulate queries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..crypto import Commitment
+from ..ipfs import CID, DHT, IPFSClient
+from ..net import Message, Transport
+from ..sim import Simulator
+from .addressing import Address, GRADIENT, PARTIAL_UPDATE, UPDATE
+from .verification import PartitionCommitter
+
+__all__ = ["DirectoryClient", "DirectoryEntry", "DirectoryService",
+           "RejectionRecord"]
+
+KIND_REGISTER = "dir.register"
+KIND_REGISTER_BATCH = "dir.register.batch"
+KIND_REGISTER_ACK = "dir.register.ack"
+KIND_LOOKUP = "dir.lookup"
+KIND_LOOKUP_REPLY = "dir.lookup.reply"
+KIND_ACCUMULATED = "dir.accumulated"
+KIND_ACCUMULATED_REPLY = "dir.accumulated.reply"
+
+#: Wire sizes (bytes): an address + CID + commitment record, a lookup
+#: query, and one lookup result row.
+REGISTER_SIZE = 448
+QUERY_SIZE = 192
+ENTRY_WIRE_SIZE = 160
+
+
+@dataclass
+class DirectoryEntry:
+    """One registered object."""
+
+    address: Address
+    cid: CID
+    commitment: Optional[Commitment]
+    registered_at: float
+    #: Updates only: None = pending verification, True/False = outcome.
+    verified: Optional[bool] = None
+
+
+@dataclass
+class RejectionRecord:
+    """A registered update that failed commitment verification."""
+
+    address: Address
+    reason: str
+    rejected_at: float
+
+
+@dataclass
+class _PartitionAccumulator:
+    """Running commitment products for one (partition, iteration)."""
+
+    total: Commitment
+    count: int = 0
+    per_aggregator: Dict[str, Commitment] = field(default_factory=dict)
+    per_aggregator_count: Dict[str, int] = field(default_factory=dict)
+
+
+class DirectoryService:
+    """The bootstrapper-run metadata server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        transport: Transport,
+        dht: DHT,
+        name: str = "directory",
+        committers: Optional[Dict[int, PartitionCommitter]] = None,
+        trainer_assignment: Optional[Dict[Tuple[str, int], str]] = None,
+        verifiable: bool = False,
+        expected_trainers: int = 0,
+        processing_delay: float = 0.0,
+    ):
+        """
+        Parameters
+        ----------
+        committers:
+            partition_id -> :class:`PartitionCommitter`; required when
+            ``verifiable``.
+        trainer_assignment:
+            ``(trainer_id, partition_id) -> aggregator_id``; lets the
+            directory maintain per-aggregator accumulated commitments
+            (Sec. IV-B) and answer takeover lookups.
+        processing_delay:
+            Simulated seconds of serialized server work per request.
+            Zero by default; set it to study the directory as a
+            bottleneck (the Sec. VI load concern) — requests then queue
+            behind each other.
+        """
+        if verifiable and not committers:
+            raise ValueError("verifiable mode needs partition committers")
+        if processing_delay < 0:
+            raise ValueError("processing_delay must be non-negative")
+        self.sim = sim
+        self.name = name
+        self.verifiable = verifiable
+        self.processing_delay = processing_delay
+        self.committers = committers or {}
+        self.trainer_assignment = trainer_assignment or {}
+        self.expected_trainers = expected_trainers
+        self._entries: Dict[Address, DirectoryEntry] = {}
+        self._accumulators: Dict[Tuple[int, int], _PartitionAccumulator] = {}
+        #: iteration -> gradient-registration cutoff (the schedule's
+        #: t_train).  Closes the race between a late-straddling upload
+        #: and the aggregators' final post-deadline poll: a gradient
+        #: commitment must never enter the accumulated product unless the
+        #: aggregators can still see it.
+        self._gradient_cutoff: Dict[int, float] = {}
+        #: First gradient registration per iteration (telemetry: the
+        #: paper's aggregation-delay clock starts here).
+        self.first_gradient_time: Dict[int, float] = {}
+        #: Updates that failed verification.
+        self.rejections: List[RejectionRecord] = []
+        #: Query counters (Sec. VI worries about directory load).
+        self.register_count = 0
+        self.lookup_count = 0
+        self.endpoint = transport.endpoint(name)
+        self._ipfs = IPFSClient(name, transport, dht)
+        self._server = sim.process(self._serve(), name=f"directory:{name}")
+
+    # -- local inspection (no network; used by the session and tests) -----------
+
+    def begin_iteration(self, iteration: int, t_train: float) -> None:
+        """Arm the gradient-registration cutoff for ``iteration``."""
+        self._gradient_cutoff[iteration] = t_train
+
+    def entry(self, address: Address) -> Optional[DirectoryEntry]:
+        return self._entries.get(address)
+
+    def entries_for(self, partition_id: int, iteration: int,
+                    kind: str) -> List[DirectoryEntry]:
+        return [
+            entry for entry in self._entries.values()
+            if entry.address.partition_id == partition_id
+            and entry.address.iteration == iteration
+            and entry.address.kind == kind
+        ]
+
+    def entries_before(self, iteration: int) -> List[DirectoryEntry]:
+        """All entries from iterations strictly before ``iteration``
+        (candidates for storage garbage collection)."""
+        return [
+            entry for entry in self._entries.values()
+            if entry.address.iteration < iteration
+        ]
+
+    def accumulated_commitment(
+        self, partition_id: int, iteration: int,
+        aggregator_id: Optional[str] = None,
+    ) -> Tuple[Optional[Commitment], int]:
+        """(product, contributor count) for a partition or one aggregator."""
+        accumulator = self._accumulators.get((partition_id, iteration))
+        if accumulator is None:
+            return None, 0
+        if aggregator_id is None:
+            return accumulator.total, accumulator.count
+        return (
+            accumulator.per_aggregator.get(aggregator_id),
+            accumulator.per_aggregator_count.get(aggregator_id, 0),
+        )
+
+    # -- server -------------------------------------------------------------------
+
+    def _serve(self):
+        # The directory host's endpoint is shared with its own IPFS client
+        # (used to fetch updates for verification), so only consume
+        # directory-protocol kinds here.
+        served_kinds = (KIND_REGISTER, KIND_REGISTER_BATCH, KIND_LOOKUP,
+                        KIND_ACCUMULATED)
+        while True:
+            message = yield self.endpoint.inbox.get(
+                lambda m: m.kind in served_kinds
+            )
+            if self.processing_delay > 0:
+                # Serialized server work: requests queue behind it.
+                yield self.sim.timeout(self.processing_delay)
+            if message.kind == KIND_REGISTER:
+                self.sim.process(self._handle_register(message))
+            elif message.kind == KIND_REGISTER_BATCH:
+                self._handle_register_batch(message)
+            elif message.kind == KIND_LOOKUP:
+                self._handle_lookup(message)
+            elif message.kind == KIND_ACCUMULATED:
+                self._handle_accumulated(message)
+
+    def _handle_register(self, message: Message):
+        payload = message.payload
+        address: Address = payload["address"]
+        cid: CID = payload["cid"]
+        commitment: Optional[Commitment] = payload.get("commitment")
+        self.register_count += 1
+
+        if address.kind == GRADIENT:
+            accepted = self._register_gradient(address, cid, commitment)
+            payload = {"accepted": accepted}
+            if not accepted:
+                payload["reason"] = "past t_train"
+            self.endpoint.respond(message, KIND_REGISTER_ACK,
+                                  payload=payload, size=ENTRY_WIRE_SIZE)
+            yield self.sim.timeout(0)
+            return
+
+        if address.kind == PARTIAL_UPDATE:
+            self._entries[address] = DirectoryEntry(
+                address=address, cid=cid, commitment=commitment,
+                registered_at=self.sim.now,
+            )
+            self.endpoint.respond(message, KIND_REGISTER_ACK,
+                                  payload={"accepted": True},
+                                  size=ENTRY_WIRE_SIZE)
+            yield self.sim.timeout(0)
+            return
+
+        # Global update: only the first (verified) one is kept.
+        existing = [
+            entry for entry in self.entries_for(
+                address.partition_id, address.iteration, UPDATE)
+            if entry.verified is not False
+        ]
+        if existing:
+            self.endpoint.respond(
+                message, KIND_REGISTER_ACK,
+                payload={"accepted": False, "reason": "duplicate"},
+                size=ENTRY_WIRE_SIZE,
+            )
+            yield self.sim.timeout(0)
+            return
+        entry = DirectoryEntry(
+            address=address, cid=cid, commitment=commitment,
+            registered_at=self.sim.now,
+            verified=None if self.verifiable else True,
+        )
+        self._entries[address] = entry
+        self.endpoint.respond(message, KIND_REGISTER_ACK,
+                              payload={"accepted": True},
+                              size=ENTRY_WIRE_SIZE)
+        if self.verifiable:
+            yield from self._verify_update(entry)
+        else:
+            yield self.sim.timeout(0)
+
+    def _handle_register_batch(self, message: Message) -> None:
+        """Sec. VI batching: all of a trainer's gradient partitions in one
+        message, integrity-bound by an accumulation over the CIDs."""
+        from .offload import accumulate_cids  # local import: avoid cycle
+
+        payload = message.payload
+        records = payload["records"]
+        self.register_count += 1
+        expected = accumulate_cids([record["cid"] for record in records])
+        if expected != payload["accumulation"]:
+            self.endpoint.respond(
+                message, KIND_REGISTER_ACK,
+                payload={"accepted": False, "reason": "bad accumulation"},
+                size=ENTRY_WIRE_SIZE,
+            )
+            return
+        all_accepted = True
+        for record in records:
+            address: Address = record["address"]
+            if address.kind != GRADIENT:
+                continue  # batching is for gradient registrations only
+            all_accepted &= self._register_gradient(
+                address, record["cid"], record.get("commitment")
+            )
+        self.endpoint.respond(message, KIND_REGISTER_ACK,
+                              payload={"accepted": all_accepted},
+                              size=ENTRY_WIRE_SIZE)
+
+    def _register_gradient(self, address: Address, cid: CID,
+                           commitment: Optional[Commitment]) -> bool:
+        """Record a gradient; False if past the iteration's cutoff."""
+        cutoff = self._gradient_cutoff.get(address.iteration)
+        if cutoff is not None and self.sim.now > cutoff:
+            return False
+        self._entries[address] = DirectoryEntry(
+            address=address, cid=cid, commitment=commitment,
+            registered_at=self.sim.now,
+        )
+        self.first_gradient_time.setdefault(address.iteration, self.sim.now)
+        if commitment is None:
+            return True
+        key = (address.partition_id, address.iteration)
+        accumulator = self._accumulators.get(key)
+        if accumulator is None:
+            curve = self.committers[address.partition_id].curve
+            accumulator = _PartitionAccumulator(
+                total=Commitment.identity(curve)
+            )
+            self._accumulators[key] = accumulator
+        accumulator.total = accumulator.total.combine(commitment)
+        accumulator.count += 1
+        aggregator_id = self.trainer_assignment.get(
+            (address.uploader_id, address.partition_id)
+        )
+        if aggregator_id is not None:
+            curve = self.committers[address.partition_id].curve
+            current = accumulator.per_aggregator.get(
+                aggregator_id, Commitment.identity(curve)
+            )
+            accumulator.per_aggregator[aggregator_id] = (
+                current.combine(commitment)
+            )
+            accumulator.per_aggregator_count[aggregator_id] = (
+                accumulator.per_aggregator_count.get(aggregator_id, 0) + 1
+            )
+        return True
+
+    def _verify_update(self, entry: DirectoryEntry):
+        """Download the claimed update and check the commitment product."""
+        address = entry.address
+        expected, count = self.accumulated_commitment(
+            address.partition_id, address.iteration
+        )
+        if expected is None or count == 0:
+            entry.verified = False
+            self.rejections.append(RejectionRecord(
+                address=address,
+                reason="no gradient commitments accumulated",
+                rejected_at=self.sim.now,
+            ))
+            return
+        try:
+            blob = yield from self._ipfs.get(entry.cid)
+        except Exception as exc:  # unavailable/corrupt update
+            entry.verified = False
+            self.rejections.append(RejectionRecord(
+                address=address,
+                reason=f"update retrieval failed: {exc}",
+                rejected_at=self.sim.now,
+            ))
+            return
+        committer = self.committers[address.partition_id]
+        if committer.verify_blob(blob, expected):
+            entry.verified = True
+        else:
+            entry.verified = False
+            self.rejections.append(RejectionRecord(
+                address=address,
+                reason="commitment mismatch (dropped or altered gradients)",
+                rejected_at=self.sim.now,
+            ))
+
+    def _visible(self, entry: DirectoryEntry) -> bool:
+        """Updates must be verified (in verifiable mode) to be served."""
+        if entry.address.kind != UPDATE:
+            return True
+        return entry.verified is True
+
+    def _handle_lookup(self, message: Message) -> None:
+        query = message.payload
+        self.lookup_count += 1
+        results = []
+        for entry in self.entries_for(
+            query["partition_id"], query["iteration"], query["kind"]
+        ):
+            if not self._visible(entry):
+                continue
+            if query.get("uploader_id") is not None \
+                    and entry.address.uploader_id != query["uploader_id"]:
+                continue
+            aggregator_filter = query.get("aggregator_id")
+            if aggregator_filter is not None \
+                    and entry.address.kind == GRADIENT:
+                assigned = self.trainer_assignment.get(
+                    (entry.address.uploader_id, entry.address.partition_id)
+                )
+                if assigned != aggregator_filter:
+                    continue
+            results.append({
+                "uploader_id": entry.address.uploader_id,
+                "cid": entry.cid,
+                "commitment": entry.commitment,
+            })
+        self.endpoint.respond(
+            message, KIND_LOOKUP_REPLY, payload=results,
+            size=ENTRY_WIRE_SIZE * max(1, len(results)),
+        )
+
+    def _handle_accumulated(self, message: Message) -> None:
+        query = message.payload
+        commitment, count = self.accumulated_commitment(
+            query["partition_id"], query["iteration"],
+            query.get("aggregator_id"),
+        )
+        self.endpoint.respond(
+            message, KIND_ACCUMULATED_REPLY,
+            payload={"commitment": commitment, "count": count},
+            size=ENTRY_WIRE_SIZE,
+        )
+
+
+class DirectoryClient:
+    """Participant-side helper for talking to the directory."""
+
+    def __init__(self, name: str, transport: Transport,
+                 directory_name: str = "directory"):
+        self.name = name
+        self.directory_name = directory_name
+        self.endpoint = transport.endpoint(name)
+
+    def register(self, address: Address, cid: CID,
+                 commitment: Optional[Commitment] = None):
+        """Register an object; returns the ack payload."""
+        response = yield from self.endpoint.request(
+            self.directory_name, KIND_REGISTER,
+            payload={"address": address, "cid": cid,
+                     "commitment": commitment},
+            size=REGISTER_SIZE,
+        )
+        return response.payload
+
+    def register_batch(self, records):
+        """Register many objects in one message (Sec. VI batching).
+
+        ``records`` is a list of dicts with ``address``, ``cid`` and
+        optional ``commitment``.  The wire carries one accumulated digest
+        over the CIDs; the directory recomputes and checks it.
+        """
+        from .offload import accumulate_cids  # local import: avoid cycle
+
+        accumulation = accumulate_cids([r["cid"] for r in records])
+        response = yield from self.endpoint.request(
+            self.directory_name, KIND_REGISTER_BATCH,
+            payload={"records": list(records),
+                     "accumulation": accumulation},
+            size=REGISTER_SIZE + 96 * max(0, len(records) - 1),
+        )
+        return response.payload
+
+    def lookup(self, partition_id: int, iteration: int, kind: str,
+               aggregator_id: Optional[str] = None,
+               uploader_id: Optional[str] = None):
+        """Query entries; returns a list of result dicts."""
+        response = yield from self.endpoint.request(
+            self.directory_name, KIND_LOOKUP,
+            payload={
+                "partition_id": partition_id,
+                "iteration": iteration,
+                "kind": kind,
+                "aggregator_id": aggregator_id,
+                "uploader_id": uploader_id,
+            },
+            size=QUERY_SIZE,
+        )
+        return response.payload
+
+    def accumulated(self, partition_id: int, iteration: int,
+                    aggregator_id: Optional[str] = None):
+        """Fetch an accumulated commitment; returns (commitment, count)."""
+        response = yield from self.endpoint.request(
+            self.directory_name, KIND_ACCUMULATED,
+            payload={
+                "partition_id": partition_id,
+                "iteration": iteration,
+                "aggregator_id": aggregator_id,
+            },
+            size=QUERY_SIZE,
+        )
+        return response.payload["commitment"], response.payload["count"]

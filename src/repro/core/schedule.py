@@ -1,0 +1,49 @@
+"""Per-iteration schedules.
+
+"In each iteration (training round), participants receive a schedule that
+contains the iteration (number) of the learning process and two UTC
+timestamps, the t_train and t_synch" (Sec. III-D).  Timestamps here are
+absolute simulated times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["IterationSchedule"]
+
+
+@dataclass(frozen=True)
+class IterationSchedule:
+    """The deadlines of one training round (absolute simulated seconds)."""
+
+    iteration: int
+    start: float
+    #: Trainers must have uploaded their gradients by this time.
+    t_train: float
+    #: The iteration must have produced global updates by this time.
+    t_sync: float
+
+    def __post_init__(self):
+        if not self.start <= self.t_train < self.t_sync:
+            raise ValueError("need start <= t_train < t_sync")
+
+    @classmethod
+    def from_durations(cls, iteration: int, start: float,
+                       train_duration: float,
+                       sync_duration: float) -> "IterationSchedule":
+        """Build from the config's relative durations."""
+        return cls(
+            iteration=iteration,
+            start=start,
+            t_train=start + train_duration,
+            t_sync=start + sync_duration,
+        )
+
+    def remaining_train(self, now: float) -> float:
+        """Seconds left until the training deadline (>= 0)."""
+        return max(0.0, self.t_train - now)
+
+    def remaining_sync(self, now: float) -> float:
+        """Seconds left until the iteration deadline (>= 0)."""
+        return max(0.0, self.t_sync - now)

@@ -1,0 +1,288 @@
+"""Session orchestration: wiring the whole deployment and running rounds.
+
+:class:`FLSession` builds the emulated network, the IPFS nodes, the
+directory service and all participants from a :class:`ProtocolConfig`,
+then drives training iterations and collects the telemetry the paper's
+figures report.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..ipfs import DHT, IPFSNode, KademliaDHT, PubSub, ReplicationCluster
+from ..ml import Dataset, Model
+from ..net import Testbed, build_testbed
+from ..sim import Simulator
+from .adversary import AggregatorBehavior
+from .aggregator import Aggregator
+from .bootstrapper import Assignment, Bootstrapper, build_assignment
+from .config import ProtocolConfig
+from .directory import DirectoryService
+from .partition import ModelPartitioner
+from .schedule import IterationSchedule
+from .telemetry import IterationMetrics, SessionMetrics
+from .trainer import Trainer
+from .verification import PartitionCommitter
+
+__all__ = ["FLSession"]
+
+
+class FLSession:
+    """A complete decentralized FL deployment in one object."""
+
+    def __init__(
+        self,
+        config: ProtocolConfig,
+        model_factory: Callable[[], Model],
+        datasets: Sequence[Dataset],
+        num_ipfs_nodes: int = 8,
+        bandwidth_mbps: float = 10.0,
+        aggregator_bandwidth_mbps: Optional[float] = None,
+        trainer_bandwidths_mbps: Optional[Sequence[float]] = None,
+        latency: float = 0.0,
+        dht_lookup_delay: float = 0.02,
+        dht_mode: str = "table",
+        directory_processing_delay: float = 0.0,
+        replication_factor: Optional[int] = None,
+        behaviors: Optional[Dict[str, AggregatorBehavior]] = None,
+        sim: Optional[Simulator] = None,
+    ):
+        """
+        Parameters
+        ----------
+        config:
+            Protocol parameters (partitions, |A_i|, deadlines, verifiability,
+            merge-and-download, ...).
+        model_factory:
+            Builds one model instance; every trainer starts from a clone of
+            the same template, as all IPLS participants share the initial
+            model.
+        datasets:
+            One local shard per trainer; their count fixes the number of
+            trainers.
+        behaviors:
+            Optional per-aggregator behaviours keyed by aggregator name
+            ("aggregator-0", ...); unnamed aggregators are honest.
+        """
+        if not datasets:
+            raise ValueError("need at least one trainer dataset")
+        self.config = config
+        num_trainers = len(datasets)
+        num_aggregators = (
+            config.num_partitions * config.aggregators_per_partition
+        )
+        self.testbed: Testbed = build_testbed(
+            sim=sim,
+            num_trainers=num_trainers,
+            num_aggregators=num_aggregators,
+            num_ipfs_nodes=num_ipfs_nodes,
+            bandwidth_mbps=bandwidth_mbps,
+            aggregator_bandwidth_mbps=aggregator_bandwidth_mbps,
+            trainer_bandwidths_mbps=trainer_bandwidths_mbps,
+            latency=latency,
+        )
+        self.sim = self.testbed.sim
+        if dht_mode == "kademlia":
+            self.dht = KademliaDHT(self.sim, network=self.testbed.network,
+                                   lookup_delay=dht_lookup_delay,
+                                   seed=config.seed)
+        elif dht_mode == "table":
+            self.dht = DHT(self.sim, lookup_delay=dht_lookup_delay,
+                           seed=config.seed)
+        else:
+            raise ValueError("dht_mode must be 'table' or 'kademlia'")
+        self.pubsub = PubSub(self.testbed.transport)
+        self.nodes: List[IPFSNode] = [
+            IPFSNode(self.sim, self.testbed.transport, self.dht, name,
+                     chunk_size=config.chunk_size)
+            for name in self.testbed.ipfs_names
+        ]
+        if dht_mode == "kademlia":
+            for name in self.testbed.ipfs_names:
+                self.dht.join(name)
+        self.cluster = None
+        if replication_factor is not None:
+            self.cluster = ReplicationCluster(
+                self.sim, self.nodes, replication_factor=replication_factor
+            )
+
+        # -- model segmentation ------------------------------------------------
+        self._template = model_factory()
+        self.partitioner = ModelPartitioner(
+            self._template.num_params(), config.num_partitions
+        )
+        self.committers: Dict[int, PartitionCommitter] = {}
+        if config.verifiable:
+            by_length: Dict[int, PartitionCommitter] = {}
+            for partition_id in range(config.num_partitions):
+                length = self.partitioner.partition_size(partition_id)
+                if length not in by_length:
+                    by_length[length] = PartitionCommitter(
+                        length, curve=config.curve,
+                        fractional_bits=config.fractional_bits,
+                    )
+                self.committers[partition_id] = by_length[length]
+
+        # -- assignment and directory ---------------------------------------------
+        self.assignment: Assignment = build_assignment(
+            config,
+            trainer_names=self.testbed.trainer_names,
+            aggregator_names=self.testbed.aggregator_names,
+            ipfs_names=self.testbed.ipfs_names,
+        )
+        self.directory = DirectoryService(
+            self.sim,
+            self.testbed.transport,
+            self.dht,
+            name=self.testbed.directory_name,
+            committers=self.committers,
+            trainer_assignment=self.assignment.aggregator_of,
+            verifiable=config.verifiable and config.directory_verification,
+            expected_trainers=num_trainers,
+            processing_delay=directory_processing_delay,
+        )
+        self.bootstrapper = Bootstrapper(
+            self.sim, self.testbed.transport,
+            name=self.testbed.directory_name,
+        )
+
+        # -- participants ----------------------------------------------------------
+        behaviors = behaviors or {}
+        self.trainers: List[Trainer] = []
+        for index, name in enumerate(self.testbed.trainer_names):
+            model = self._template.clone()
+            self.trainers.append(Trainer(
+                name=name,
+                sim=self.sim,
+                transport=self.testbed.transport,
+                dht=self.dht,
+                config=config,
+                assignment=self.assignment,
+                partitioner=self.partitioner,
+                model=model,
+                dataset=datasets[index],
+                committers=self.committers,
+                seed=config.seed + index,
+            ))
+        self.aggregators: List[Aggregator] = []
+        for name in self.testbed.aggregator_names:
+            partition_id = self.assignment.partition_of[name]
+            self.aggregators.append(Aggregator(
+                name=name,
+                sim=self.sim,
+                transport=self.testbed.transport,
+                dht=self.dht,
+                pubsub=self.pubsub,
+                config=config,
+                assignment=self.assignment,
+                partition_len=self.partitioner.partition_size(partition_id),
+                committer=self.committers.get(partition_id),
+                behavior=behaviors.get(name),
+            ))
+
+        self.metrics = SessionMetrics()
+        self._iteration = 0
+
+    # -- driving rounds ---------------------------------------------------------
+
+    def run_iteration(self) -> IterationMetrics:
+        """Execute one full training round; returns its metrics."""
+        iteration = self._iteration
+        self._iteration += 1
+        schedule = IterationSchedule.from_durations(
+            iteration, self.sim.now, self.config.t_train, self.config.t_sync
+        )
+        metrics = IterationMetrics(iteration=iteration,
+                                   started_at=self.sim.now)
+        # Arm the directory's gradient-registration cutoff so late
+        # registrations can never enter the accumulated commitments.
+        self.directory.begin_iteration(iteration, schedule.t_train)
+
+        def driver():
+            participants = (
+                [t.name for t in self.trainers]
+                + [a.name for a in self.aggregators]
+            )
+            yield self.bootstrapper.announce(schedule, participants)
+            processes = [
+                self.sim.process(
+                    trainer.run_iteration(schedule, metrics),
+                    name=f"{trainer.name}:i{iteration}",
+                )
+                for trainer in self.trainers
+            ] + [
+                self.sim.process(
+                    aggregator.run_iteration(schedule, metrics),
+                    name=f"{aggregator.name}:i{iteration}",
+                )
+                for aggregator in self.aggregators
+            ]
+            yield self.sim.all_of(processes)
+
+        driver_proc = self.sim.process(driver(), name=f"round:{iteration}")
+        self.sim.run_until(driver_proc)
+        if not driver_proc.ok:
+            raise driver_proc.value
+        metrics.finished_at = self.sim.now
+        metrics.first_gradient_at = self.directory.first_gradient_time.get(
+            iteration
+        )
+        for rejection in self.directory.rejections:
+            if rejection.address.iteration == iteration:
+                metrics.verification_failures.append(str(rejection.address))
+        self.metrics.iterations.append(metrics)
+        return metrics
+
+    def run(self, rounds: int) -> SessionMetrics:
+        """Run ``rounds`` iterations back to back."""
+        for _ in range(rounds):
+            self.run_iteration()
+        return self.metrics
+
+    # -- storage management --------------------------------------------------------
+
+    def collect_garbage(self, keep_iterations: int = 1) -> float:
+        """Reclaim storage from finished iterations.
+
+        The paper: "in our protocol both gradients and updates [are] only
+        needed for a short period of time".  Unpins every object from
+        iterations older than the last ``keep_iterations`` on all nodes,
+        withdraws their DHT records, and runs each node's GC.  Returns
+        the number of bytes reclaimed network-wide.
+        """
+        cutoff = self._iteration - keep_iterations
+        for entry in self.directory.entries_before(cutoff):
+            for node in self.nodes:
+                node.unpin_object(entry.cid)
+        reclaimed = 0.0
+        for node in self.nodes:
+            before = node.store.total_bytes
+            for cid in node.store.collect_garbage():
+                self.dht.unprovide(cid, node.name)
+            reclaimed += before - node.store.total_bytes
+        return reclaimed
+
+    @property
+    def storage_bytes(self) -> float:
+        """Bytes currently resident across all storage nodes."""
+        return float(sum(node.store.total_bytes for node in self.nodes))
+
+    # -- results ------------------------------------------------------------------
+
+    def model_of(self, index: int = 0) -> Model:
+        """The current model of trainer ``index``."""
+        return self.trainers[index].model
+
+    def consensus_params(self) -> np.ndarray:
+        """The shared model parameters, asserting all trainers agree."""
+        reference = self.trainers[0].model.get_params()
+        for trainer in self.trainers[1:]:
+            if not np.allclose(trainer.model.get_params(), reference,
+                               atol=1e-12):
+                raise AssertionError(
+                    f"trainer {trainer.name} diverged from trainer 0"
+                )
+        return reference

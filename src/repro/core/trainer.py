@@ -1,0 +1,268 @@
+"""The trainer role (Algorithm 1, ``TRAINER``).
+
+Per iteration a trainer:
+
+1. trains the model on its local shard, producing an update vector,
+2. splits it into partitions, appends the averaging counter 1, commits
+   (verifiable mode) and uploads each partition to its designated IPFS
+   node, registering the CID (plus commitment) with the directory,
+3. polls the directory for the global update of every partition,
+   downloads each, divides by the summed counter, and installs the new
+   model.
+
+If the training deadline ``t_train`` passes before its uploads finish,
+the trainer aborts the iteration (Algorithm 1 line 10).
+"""
+
+from __future__ import annotations
+
+import time as wallclock
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..ipfs import DHT, IPFSClient, IPFSError
+from ..ml import Dataset, Model, compute_gradient, local_update
+from ..net import Transport
+from ..sim import Simulator
+from .addressing import Address, GRADIENT, UPDATE
+from .bootstrapper import Assignment
+from .config import ProtocolConfig
+from .directory import DirectoryClient
+from .partition import ModelPartitioner, decode_partition, encode_partition
+from .schedule import IterationSchedule
+from .telemetry import IterationMetrics
+from .verification import CommitmentCostModel, PartitionCommitter
+
+__all__ = ["Trainer"]
+
+
+class Trainer:
+    """One trainer participant."""
+
+    def __init__(
+        self,
+        name: str,
+        sim: Simulator,
+        transport: Transport,
+        dht: DHT,
+        config: ProtocolConfig,
+        assignment: Assignment,
+        partitioner: ModelPartitioner,
+        model: Model,
+        dataset: Dataset,
+        committers: Optional[Dict[int, PartitionCommitter]] = None,
+        seed: int = 0,
+    ):
+        self.name = name
+        self.sim = sim
+        self.config = config
+        self.assignment = assignment
+        self.partitioner = partitioner
+        self.model = model
+        self.dataset = dataset
+        self.committers = committers or {}
+        self.seed = seed
+        self.ipfs = IPFSClient(name, transport, dht,
+                               chunk_size=config.chunk_size)
+        self.directory = DirectoryClient(name, transport)
+        self.cost_model = CommitmentCostModel(config.commit_seconds_per_param)
+        #: Per-trainer local compute time; defaults to the config value,
+        #: override to model stragglers.
+        self.local_train_seconds = config.local_train_seconds
+        #: Iterations this trainer finished with an installed update.
+        self.completed_iterations = 0
+        #: Updates this trainer itself rejected (trainer verification).
+        self.rejected_updates = 0
+
+    # -- local learning -----------------------------------------------------------
+
+    def _compute_update_vector(self, iteration: int) -> np.ndarray:
+        """The flat vector to upload, per the configured update mode."""
+        if self.config.update_mode == "params":
+            delta = local_update(
+                self.model, self.dataset, self.config.train,
+                seed=self.seed + 7919 * iteration,
+            )
+            return self.model.get_params() + delta
+        return compute_gradient(self.model, self.dataset)
+
+    def _verify_update(self, partition_id: int, iteration: int,
+                       blob: bytes):
+        """Check a downloaded update against the accumulated commitment.
+
+        Delegated verification (paper Sec. IV: "can be performed by any
+        participant").  Off unless ``config.trainer_verification``.
+        """
+        if not (self.config.verifiable
+                and self.config.trainer_verification):
+            return True
+        committer = self.committers.get(partition_id)
+        if committer is None:
+            return True
+        expected, count = yield from self.directory.accumulated(
+            partition_id, iteration
+        )
+        if expected is None or count == 0:
+            return False
+        delay = self.cost_model.verify_delay(committer.partition_len + 1)
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        return committer.verify_blob(blob, expected)
+
+    def _install_update(self, averaged: np.ndarray) -> None:
+        if self.config.update_mode == "params":
+            self.model.set_params(averaged)
+        else:
+            self.model.set_params(
+                self.model.get_params()
+                - self.config.learning_rate * averaged
+            )
+
+    # -- the per-iteration process ------------------------------------------------------
+
+    def run_iteration(self, schedule: IterationSchedule,
+                      metrics: IterationMetrics):
+        """Process generator executing one round for this trainer."""
+        if self.config.trainer_jitter > 0:
+            # Deterministic per-(trainer, round) arrival offset.
+            rng = np.random.default_rng(
+                self.seed + 104729 * schedule.iteration
+            )
+            yield self.sim.timeout(
+                float(rng.uniform(0.0, self.config.trainer_jitter))
+            )
+        if self.local_train_seconds > 0:
+            yield self.sim.timeout(self.local_train_seconds)
+        vector = self._compute_update_vector(schedule.iteration)
+        if self.sim.now > schedule.t_train:
+            return  # Abort: did not train in time (Algorithm 1 line 10).
+
+        parts = self.partitioner.split(vector)
+
+        # Commit sequentially (CPU-bound work on one core), then upload all
+        # partitions concurrently and register each CID as its put
+        # completes.
+        prepared = []
+        for partition_id, values in enumerate(parts):
+            committer = self.committers.get(partition_id)
+            if self.config.verifiable and committer is not None:
+                wall_start = wallclock.perf_counter()
+                blob, commitment = committer.encode_and_commit(values)
+                metrics.commit_seconds[self.name] = (
+                    metrics.commit_seconds.get(self.name, 0.0)
+                    + wallclock.perf_counter() - wall_start
+                )
+                delay = self.cost_model.commit_delay(len(values) + 1)
+                if delay > 0:
+                    yield self.sim.timeout(delay)
+            else:
+                blob, commitment = encode_partition(values, 1.0), None
+            prepared.append((partition_id, blob, commitment))
+
+        upload_delays = []
+        failures = []
+        batched_records = []
+
+        def upload_one(partition_id, blob, commitment):
+            # With merge-and-download, the upload target is fixed ("a
+            # trainer ... is required to upload its gradients to a node
+            # from P_ij"); otherwise any live node will do, so fall back
+            # on a timeout.
+            assigned = self.assignment.upload_node[(self.name, partition_id)]
+            candidates = [assigned]
+            if not self.config.merge_and_download:
+                candidates += [node for node
+                               in self.assignment.storage_nodes
+                               if node != assigned]
+            put_started = self.sim.now
+            cid = None
+            for node in candidates:
+                try:
+                    cid = yield from self.ipfs.put(blob, node=node)
+                    break
+                except IPFSError:
+                    continue
+            if cid is None:
+                failures.append(partition_id)
+                return
+            upload_delays.append(self.sim.now - put_started)
+            address = Address(
+                uploader_id=self.name, partition_id=partition_id,
+                iteration=schedule.iteration, kind=GRADIENT,
+            )
+            if self.config.batch_registration:
+                batched_records.append({
+                    "address": address, "cid": cid,
+                    "commitment": commitment,
+                })
+            else:
+                ack = yield from self.directory.register(
+                    address, cid, commitment
+                )
+                if not ack.get("accepted"):
+                    failures.append(partition_id)  # cutoff: round missed
+
+        uploads = [
+            self.sim.process(
+                upload_one(partition_id, blob, commitment),
+                name=f"{self.name}:up:p{partition_id}",
+            )
+            for partition_id, blob, commitment in prepared
+        ]
+        yield self.sim.all_of(uploads)
+        if failures:
+            return  # a storage node died; abort this round
+        if batched_records:
+            # One directory round-trip for all partitions (Sec. VI).
+            ack = yield from self.directory.register_batch(batched_records)
+            if not ack.get("accepted"):
+                return  # cutoff or bad accumulation: round missed
+        if self.sim.now > schedule.t_train:
+            return  # missed the upload deadline
+        if upload_delays:
+            metrics.upload_delays[self.name] = (
+                sum(upload_delays) / len(upload_delays)
+            )
+
+        # -- retrieve the updated partitions ------------------------------------
+        updated_parts = []
+        for partition_id in range(self.partitioner.num_partitions):
+            cid = None
+            while self.sim.now < schedule.t_sync:
+                results = yield from self.directory.lookup(
+                    partition_id, schedule.iteration, UPDATE
+                )
+                if results:
+                    cid = results[0]["cid"]
+                    break
+                remaining = schedule.remaining_sync(self.sim.now)
+                if remaining <= 0:
+                    break
+                yield self.sim.timeout(
+                    min(self.config.poll_interval, remaining)
+                )
+            if cid is None:
+                return  # iteration failed for this trainer
+            try:
+                blob = yield from self.ipfs.get(cid)
+            except IPFSError:
+                return
+            verified = yield from self._verify_update(
+                partition_id, schedule.iteration, blob
+            )
+            if not verified:
+                self.rejected_updates += 1
+                metrics.verification_failures.append(
+                    f"trainer-rejected/p{partition_id}"
+                    f"/i{schedule.iteration}/{self.name}"
+                )
+                return
+            values, counter = decode_partition(blob)
+            if counter <= 0:
+                return
+            updated_parts.append(values / counter)
+
+        self._install_update(self.partitioner.join(updated_parts))
+        self.completed_iterations += 1
+        metrics.trainers_completed.append(self.name)

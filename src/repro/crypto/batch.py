@@ -1,0 +1,77 @@
+"""Batch verification of Pedersen openings.
+
+Sec. IV-B notes that with multiple aggregators per partition "the
+directory would have to check each partial update, increasing the
+performance overhead".  The standard countermeasure is random-linear-
+combination batching: to verify k claimed openings ``(v_j, C_j)``, draw
+random 128-bit scalars ``r_j`` and check the single equation
+
+    commit( sum_j r_j * v_j )  ==  prod_j C_j^{r_j}
+
+If every opening is valid the equation holds; if any is invalid it fails
+except with probability ~2^-128 over the verifier's randomness.  The
+cost is ONE vector commitment over the same length plus k cheap
+exponentiations, instead of k full vector commitments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from .multiexp import multi_scalar_mult
+from .pedersen import Commitment, PedersenParams
+
+__all__ = ["batch_verify", "random_scalars"]
+
+#: Bit length of the batching coefficients; failure probability ~2^-128.
+COEFFICIENT_BITS = 128
+
+
+def random_scalars(count: int, order: int, seed=None) -> List[int]:
+    """Draw ``count`` nonzero batching coefficients below 2^128."""
+    rng = random.Random(seed) if seed is not None else random.SystemRandom()
+    bound = min(1 << COEFFICIENT_BITS, order - 1)
+    return [rng.randrange(1, bound) for _ in range(count)]
+
+
+def batch_verify(
+    params: PedersenParams,
+    openings: Sequence[Tuple[Sequence[int], Commitment]],
+    seed=None,
+) -> bool:
+    """Verify many (scalar-vector, commitment) pairs in one equation.
+
+    ``openings`` is a sequence of ``(values, commitment)``; vectors may
+    have different lengths up to ``params.size`` (zero-padded).  Returns
+    True iff the batched check passes.  ``seed`` fixes the verifier
+    randomness for reproducible tests; omit it in adversarial settings.
+    """
+    if not openings:
+        return True
+    order = params.curve.n
+    coefficients = random_scalars(len(openings), order, seed=seed)
+
+    length = max(len(values) for values, _ in openings)
+    combined = [0] * length
+    for coefficient, (values, _) in zip(coefficients, openings):
+        for index, value in enumerate(values):
+            combined[index] = (
+                combined[index] + coefficient * value
+            ) % order
+    left = params.commit(combined)
+
+    points = [commitment.point for _, commitment in openings]
+    usable = [
+        (coefficient, point)
+        for coefficient, point in zip(coefficients, points)
+        if not point.is_identity
+    ]
+    if usable:
+        right = Commitment(multi_scalar_mult(
+            [coefficient for coefficient, _ in usable],
+            [point for _, point in usable],
+        ))
+    else:
+        right = Commitment.identity(params.curve)
+    return left == right

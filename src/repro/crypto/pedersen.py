@@ -1,0 +1,128 @@
+"""Pedersen vector commitments with homomorphic combination.
+
+The scheme of the paper's Sec. IV-A: public parameters are ``n`` generators
+``{h_i}`` of a prime-order group with unknown mutual discrete logs; a
+commitment to vector ``v`` is ``C = ∏ h_i^{v_i}``, a single group element.
+It is *vector-binding* under the discrete-log assumption and
+*homomorphic*: ``C(v1) · C(v2) = C(v1 + v2)``, which lets the directory
+service accumulate trainer commitments and verify an aggregate against the
+product without touching individual gradients.
+
+Deterministic (non-hiding) commitments match the paper's usage; an
+optional blinding term ``g^r`` is supported for callers wanting hiding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from .curves import CurveParams
+from .group import Point, generator
+from .hashing import DEFAULT_DOMAIN, generator_stream
+from .multiexp import multi_scalar_mult
+
+__all__ = ["Commitment", "PedersenParams"]
+
+#: Cache of derived generator prefixes, keyed by (curve, domain); deriving
+#: generators costs two hashes plus a square root each, so benchmarks that
+#: repeatedly set up large parameter vectors share the work.
+_GENERATOR_CACHE: Dict[Tuple[str, bytes], List[Point]] = {}
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A commitment: one group element.  ``*`` combines homomorphically."""
+
+    point: Point
+
+    @classmethod
+    def identity(cls, curve: CurveParams) -> "Commitment":
+        """The neutral commitment (commits to the zero vector)."""
+        return cls(Point.identity(curve))
+
+    def combine(self, other: "Commitment") -> "Commitment":
+        """The commitment to the sum of the two committed vectors."""
+        return Commitment(self.point + other.point)
+
+    def __mul__(self, other: "Commitment") -> "Commitment":
+        if not isinstance(other, Commitment):
+            return NotImplemented
+        return self.combine(other)
+
+    def to_bytes(self) -> bytes:
+        """Compressed serialization (33 bytes, or 1 for identity)."""
+        return self.point.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, curve: CurveParams, data: bytes) -> "Commitment":
+        return cls(Point.from_bytes(curve, data))
+
+    @classmethod
+    def product(cls, commitments: Sequence["Commitment"],
+                curve: CurveParams) -> "Commitment":
+        """Accumulate many commitments (∏ C_k)."""
+        result = cls.identity(curve)
+        for commitment in commitments:
+            result = result.combine(commitment)
+        return result
+
+    def __repr__(self) -> str:
+        return f"<Commitment {self.to_bytes().hex()[:16]}…>"
+
+
+class PedersenParams:
+    """Public parameters: the generator vector for length-``size`` inputs."""
+
+    def __init__(self, curve: CurveParams, size: int,
+                 domain: bytes = DEFAULT_DOMAIN):
+        if size < 1:
+            raise ValueError("size must be >= 1")
+        self.curve = curve
+        self.size = size
+        self.domain = domain
+        self._blinding_base = generator(curve)
+        cache_key = (curve.name, domain)
+        cached = _GENERATOR_CACHE.setdefault(cache_key, [])
+        if len(cached) < size:
+            stream = generator_stream(curve, domain)
+            for _ in range(len(cached)):
+                next(stream)  # skip already-derived prefix
+            while len(cached) < size:
+                cached.append(next(stream))
+        self.generators: List[Point] = cached[:size]
+
+    @classmethod
+    def setup(cls, curve: CurveParams, size: int,
+              domain: bytes = DEFAULT_DOMAIN) -> "PedersenParams":
+        """Transparent setup (no trusted dealer): derive ``size`` generators."""
+        return cls(curve, size, domain)
+
+    def commit(self, values: Sequence[int], randomness: int = 0) -> Commitment:
+        """Commit to a scalar vector: ``C = g^r · ∏ h_i^{v_i}``.
+
+        ``randomness = 0`` (default) gives the paper's deterministic
+        commitment.  ``values`` shorter than ``size`` are zero-padded;
+        longer is an error.
+        """
+        if len(values) > self.size:
+            raise ValueError(
+                f"vector of length {len(values)} exceeds parameter size "
+                f"{self.size}"
+            )
+        scalars = list(values)
+        points = self.generators[:len(scalars)]
+        if randomness % self.curve.n != 0:
+            scalars = scalars + [randomness]
+            points = points + [self._blinding_base]
+        nonzero = [(s, p) for s, p in zip(scalars, points) if s % self.curve.n]
+        if not nonzero:
+            return Commitment.identity(self.curve)
+        return Commitment(multi_scalar_mult(
+            [s for s, _ in nonzero], [p for _, p in nonzero]
+        ))
+
+    def verify(self, commitment: Commitment, values: Sequence[int],
+               randomness: int = 0) -> bool:
+        """Check that ``values`` (and ``randomness``) open ``commitment``."""
+        return self.commit(values, randomness) == commitment

@@ -1,0 +1,80 @@
+"""Per-node block storage with pinning and garbage collection."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from .block import Block
+from .cid import CID
+
+__all__ = ["Blockstore"]
+
+
+class Blockstore:
+    """The datastore of one IPFS node.
+
+    Blocks are kept by CID.  *Pinned* blocks survive garbage collection;
+    the FL protocol pins gradients/updates only for the iterations that
+    still need them and unpins afterwards (the paper: data are "only
+    needed for a short period of time").
+    """
+
+    def __init__(self, capacity_bytes: float = float("inf")):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self._blocks: Dict[CID, Block] = {}
+        self._pins: Set[CID] = set()
+        self.total_bytes = 0
+
+    def __contains__(self, cid: CID) -> bool:
+        return cid in self._blocks
+
+    def __len__(self) -> int:
+        return len(self._blocks)
+
+    def put(self, block: Block, pin: bool = True) -> CID:
+        """Store ``block``; raises ``IOError`` if capacity would be exceeded."""
+        if block.cid in self._blocks:
+            if pin:
+                self._pins.add(block.cid)
+            return block.cid
+        if self.total_bytes + block.size > self.capacity_bytes:
+            raise IOError(
+                f"blockstore full: {self.total_bytes + block.size} "
+                f"> {self.capacity_bytes} bytes"
+            )
+        self._blocks[block.cid] = block
+        self.total_bytes += block.size
+        if pin:
+            self._pins.add(block.cid)
+        return block.cid
+
+    def get(self, cid: CID) -> Optional[Block]:
+        """The stored block, or None."""
+        return self._blocks.get(cid)
+
+    def has(self, cid: CID) -> bool:
+        return cid in self._blocks
+
+    def pin(self, cid: CID) -> None:
+        if cid not in self._blocks:
+            raise KeyError(f"cannot pin unknown block {cid!r}")
+        self._pins.add(cid)
+
+    def unpin(self, cid: CID) -> None:
+        self._pins.discard(cid)
+
+    def is_pinned(self, cid: CID) -> bool:
+        return cid in self._pins
+
+    def cids(self) -> Iterable[CID]:
+        return self._blocks.keys()
+
+    def collect_garbage(self) -> List[CID]:
+        """Drop every unpinned block; returns the CIDs removed."""
+        removed = [cid for cid in self._blocks if cid not in self._pins]
+        for cid in removed:
+            self.total_bytes -= self._blocks[cid].size
+            del self._blocks[cid]
+        return removed

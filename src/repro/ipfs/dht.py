@@ -1,0 +1,108 @@
+"""Content routing: a simulated DHT of provider records.
+
+The real IPFS network resolves "who has CID x?" through a Kademlia DHT
+with O(log n) hop lookups.  We model the outcome — a provider-record table
+with a configurable lookup delay — because the protocol only depends on
+*finding* providers and on the latency of doing so, not on routing-table
+internals.  Records carry an expiry (real provider records are
+re-published periodically) so tests can exercise staleness.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim import Simulator
+from .cid import CID
+
+__all__ = ["ProviderRecord", "DHT"]
+
+
+@dataclass(frozen=True)
+class ProviderRecord:
+    """One advertisement: ``node`` had the block at ``published_at``."""
+
+    cid: CID
+    node: str
+    published_at: float
+    expires_at: float
+
+
+class DHT:
+    """A global provider-record table with simulated lookup latency."""
+
+    def __init__(self, sim: Simulator, lookup_delay: float = 0.05,
+                 record_ttl: float = math.inf, seed: int = 0):
+        """
+        Parameters
+        ----------
+        sim:
+            Simulation kernel (for the clock and lookup delays).
+        lookup_delay:
+            Simulated seconds per :meth:`find_providers` query (a DHT walk
+            costs a few round trips even on a fast network).
+        record_ttl:
+            Lifetime of a provider record; ``inf`` disables expiry.
+        seed:
+            Seed for the provider-shuffling RNG, for reproducible runs.
+        """
+        if lookup_delay < 0:
+            raise ValueError("lookup_delay must be non-negative")
+        self.sim = sim
+        self.lookup_delay = lookup_delay
+        self.record_ttl = record_ttl
+        self._records: Dict[CID, Dict[str, ProviderRecord]] = {}
+        self._rng = random.Random(seed)
+        #: Telemetry.
+        self.lookups = 0
+        self.provides = 0
+
+    def provide(self, cid: CID, node: str) -> ProviderRecord:
+        """Advertise that ``node`` stores ``cid`` (instant, local op)."""
+        record = ProviderRecord(
+            cid=cid,
+            node=node,
+            published_at=self.sim.now,
+            expires_at=self.sim.now + self.record_ttl,
+        )
+        self._records.setdefault(cid, {})[node] = record
+        self.provides += 1
+        return record
+
+    def unprovide(self, cid: CID, node: str) -> None:
+        """Withdraw an advertisement (e.g. after garbage collection)."""
+        providers = self._records.get(cid)
+        if providers:
+            providers.pop(node, None)
+            if not providers:
+                del self._records[cid]
+
+    def providers_snapshot(self, cid: CID) -> List[str]:
+        """Current live providers without charging lookup delay (tests)."""
+        providers = self._records.get(cid, {})
+        now = self.sim.now
+        return sorted(
+            record.node for record in providers.values()
+            if record.expires_at > now
+        )
+
+    def find_providers(self, cid: CID, limit: Optional[int] = None,
+                       querier: Optional[str] = None):
+        """Process generator: resolve ``cid`` to a shuffled provider list.
+
+        Usage: ``providers = yield from dht.find_providers(cid)``.
+        Charges :attr:`lookup_delay` of simulated time per call.
+        ``querier`` names the asking host; this base implementation
+        ignores it (the Kademlia subclass charges its route).
+        """
+        self.lookups += 1
+        if self.lookup_delay > 0:
+            yield self.sim.timeout(self.lookup_delay)
+        names = self.providers_snapshot(cid)
+        self._rng.shuffle(names)
+        if limit is not None:
+            names = names[:limit]
+        return names

@@ -1,0 +1,457 @@
+"""IPFS nodes (storage servers) and the client API participants use.
+
+The paper draws "a clean separation between IPLS participants and IPFS
+nodes": trainers and aggregators are *clients* that ``put``/``get`` data to
+and from storage nodes over the network.  An :class:`IPFSNode` is a server
+process with a blockstore; an :class:`IPFSClient` offers ``put``, ``get``
+and ``merge_and_download`` as process generators (``yield from``).
+
+Retrieval verifies content against the CID — the adversarial model
+assumes availability but "we do not assume correctness of retrieved data;
+this is up to the parties to check" — and falls back to other DHT
+providers on corruption or timeouts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from ..net import Endpoint, Message, Transport
+from ..sim import Simulator
+from .block import Block, DEFAULT_CHUNK_SIZE, chunk_object, parse_manifest, reassemble
+from .blockstore import Blockstore
+from .cid import CID, compute_cid
+from .dht import DHT
+from .errors import IntegrityError, MergeError, NodeOfflineError, NotFoundError
+from .merge import get_merger
+
+__all__ = ["IPFSNode", "IPFSClient"]
+
+# Message kinds.
+KIND_PUT = "ipfs.put"
+KIND_PUT_ACK = "ipfs.put.ack"
+KIND_GET = "ipfs.get"
+KIND_GET_DATA = "ipfs.get.data"
+KIND_GET_BLOCK = "ipfs.getblock"
+KIND_GET_BLOCK_DATA = "ipfs.getblock.data"
+KIND_MERGE = "ipfs.merge"
+KIND_MERGE_DATA = "ipfs.merge.data"
+KIND_REPLICATE = "ipfs.replicate"
+KIND_UNPIN = "ipfs.unpin"
+
+#: Wire overheads (bytes): request framing and a CID on the wire.
+REQUEST_OVERHEAD = 256
+CID_WIRE_SIZE = 64
+ACK_SIZE = 128
+
+
+class IPFSNode:
+    """One storage node: a server loop over a blockstore.
+
+    Set :attr:`online` to False to simulate a dropout (requests are
+    silently dropped) and :attr:`corrupt` to True to serve flipped bytes
+    (exercising client-side integrity checking).
+    """
+
+    def __init__(self, sim: Simulator, transport: Transport, dht: DHT,
+                 name: str, blockstore: Optional[Blockstore] = None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self.sim = sim
+        self.transport = transport
+        self.dht = dht
+        self.name = name
+        self.store = blockstore or Blockstore()
+        self.chunk_size = chunk_size
+        self.online = True
+        self.corrupt = False
+        #: Set by :class:`~repro.ipfs.cluster.ReplicationCluster`.
+        self.cluster = None
+        #: Telemetry.
+        self.puts_served = 0
+        self.gets_served = 0
+        self.merges_served = 0
+        self.endpoint: Endpoint = transport.endpoint(name)
+        self._server = sim.process(self._serve(), name=f"ipfs-node:{name}")
+
+    # -- local storage operations (no network) --------------------------------
+
+    def store_object(self, data: bytes, pin: bool = True) -> CID:
+        """Chunk, store and advertise ``data``; returns the root CID."""
+        root, leaves = chunk_object(data, self.chunk_size)
+        for leaf in leaves:
+            self.store.put(leaf, pin=pin)
+        self.store.put(root, pin=pin)
+        self.dht.provide(root.cid, self.name)
+        return root.cid
+
+    def load_object(self, root_cid: CID) -> Optional[bytes]:
+        """Reassemble a stored object; None if any block is missing."""
+        root = self.store.get(root_cid)
+        if root is None:
+            return None
+        try:
+            leaf_cids = parse_manifest(root)
+        except ValueError:
+            # A bare (unchunked) block stored directly.
+            return root.data
+        leaves = []
+        for cid in leaf_cids:
+            leaf = self.store.get(cid)
+            if leaf is None:
+                return None
+            leaves.append(leaf)
+        return reassemble(root, leaves)
+
+    def object_blocks(self, root_cid: CID) -> Optional[List[Block]]:
+        """Root plus leaf blocks of a stored object, or None if missing."""
+        root = self.store.get(root_cid)
+        if root is None:
+            return None
+        try:
+            leaf_cids = parse_manifest(root)
+        except ValueError:
+            return [root]
+        blocks = [root]
+        for cid in leaf_cids:
+            leaf = self.store.get(cid)
+            if leaf is None:
+                return None
+            blocks.append(leaf)
+        return blocks
+
+    def unpin_object(self, root_cid: CID) -> None:
+        """Unpin a whole object (root and leaves)."""
+        root = self.store.get(root_cid)
+        if root is None:
+            return
+        self.store.unpin(root_cid)
+        try:
+            for cid in parse_manifest(root):
+                self.store.unpin(cid)
+        except ValueError:
+            pass
+
+    # -- server loop ----------------------------------------------------------
+
+    def _serve(self):
+        while True:
+            message = yield self.endpoint.receive()
+            if not self.online:
+                continue  # dropped on the floor: client sees a timeout
+            self.sim.process(
+                self._handle(message), name=f"{self.name}:{message.kind}"
+            )
+
+    def _handle(self, message: Message):
+        if message.kind == KIND_PUT:
+            yield from self._handle_put(message)
+        elif message.kind == KIND_GET:
+            yield from self._handle_get(message)
+        elif message.kind == KIND_GET_BLOCK:
+            yield from self._handle_get_block(message)
+        elif message.kind == KIND_MERGE:
+            yield from self._handle_merge(message)
+        elif message.kind == KIND_REPLICATE:
+            yield from self._handle_replicate(message)
+        elif message.kind == KIND_UNPIN:
+            self.unpin_object(message.payload)
+            yield self.sim.timeout(0)
+        # Unknown kinds are ignored (forward compatibility).
+
+    def _handle_put(self, message: Message):
+        data: bytes = message.payload
+        root_cid = self.store_object(data)
+        self.puts_served += 1
+        if self.cluster is not None:
+            self.cluster.schedule_replication(self, root_cid)
+        yield self.endpoint.respond(
+            message, KIND_PUT_ACK, payload=root_cid, size=ACK_SIZE
+        )
+
+    def _maybe_corrupt(self, data: bytes) -> bytes:
+        if not self.corrupt or not data:
+            return data
+        flipped = bytearray(data)
+        flipped[0] ^= 0xFF
+        return bytes(flipped)
+
+    def _handle_get(self, message: Message):
+        root_cid: CID = message.payload
+        data = self.load_object(root_cid)
+        self.gets_served += 1
+        if data is None:
+            yield self.endpoint.respond(
+                message, KIND_GET_DATA, payload=None, size=ACK_SIZE
+            )
+            return
+        data = self._maybe_corrupt(data)
+        yield self.endpoint.respond(
+            message, KIND_GET_DATA, payload=data,
+            size=len(data) + REQUEST_OVERHEAD,
+        )
+
+    def _handle_get_block(self, message: Message):
+        """Serve one raw block (bitswap-style exchange unit)."""
+        block = self.store.get(message.payload)
+        self.gets_served += 1
+        if block is None:
+            yield self.endpoint.respond(
+                message, KIND_GET_BLOCK_DATA, payload=None, size=ACK_SIZE
+            )
+            return
+        data = self._maybe_corrupt(block.data)
+        yield self.endpoint.respond(
+            message, KIND_GET_BLOCK_DATA, payload=data,
+            size=len(data) + REQUEST_OVERHEAD,
+        )
+
+    def _handle_merge(self, message: Message):
+        request = message.payload  # {"cids": [...], "merger": str}
+        self.merges_served += 1
+        blobs = []
+        missing = []
+        for cid in request["cids"]:
+            data = self.load_object(cid)
+            if data is None:
+                missing.append(cid)
+            else:
+                blobs.append(data)
+        if missing or not blobs:
+            yield self.endpoint.respond(
+                message, KIND_MERGE_DATA,
+                payload={"error": "missing", "missing": missing},
+                size=ACK_SIZE,
+            )
+            return
+        try:
+            merger = get_merger(request["merger"])
+            merged = merger(blobs)
+        except MergeError as exc:
+            yield self.endpoint.respond(
+                message, KIND_MERGE_DATA,
+                payload={"error": str(exc)}, size=ACK_SIZE,
+            )
+            return
+        merged = self._maybe_corrupt(merged)
+        yield self.endpoint.respond(
+            message, KIND_MERGE_DATA,
+            payload={"data": merged, "count": len(blobs)},
+            size=len(merged) + REQUEST_OVERHEAD,
+        )
+
+    def _handle_replicate(self, message: Message):
+        data: bytes = message.payload
+        self.store_object(data)
+        yield self.sim.timeout(0)
+
+
+class IPFSClient:
+    """Client-side API: process generators for put/get/merge-and-download."""
+
+    def __init__(self, name: str, transport: Transport, dht: DHT,
+                 request_timeout: float = 120.0,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE):
+        self.name = name
+        self.transport = transport
+        self.dht = dht
+        self.sim: Simulator = transport.sim
+        self.request_timeout = request_timeout
+        #: Must match the chunk size of the nodes, as the object CID binds
+        #: the chunk manifest.
+        self.chunk_size = chunk_size
+        self.endpoint = transport.endpoint(name)
+        #: Telemetry (bytes).
+        self.bytes_uploaded = 0.0
+        self.bytes_downloaded = 0.0
+
+    # -- request helper -------------------------------------------------------
+
+    def _request(self, dst: str, kind: str, payload, size: float):
+        """Request/response with a timeout; returns the response or None."""
+        request_id = self.transport.next_request_id()
+        self.transport.send(Message(
+            src=self.name, dst=dst, kind=kind, payload=payload,
+            size=size, request_id=request_id,
+        ))
+        response_event = self.endpoint.inbox.get(
+            lambda message: message.request_id == request_id
+        )
+        timeout = self.sim.timeout(self.request_timeout)
+        outcome = yield self.sim.any_of([response_event, timeout])
+        if response_event in outcome:
+            return outcome[response_event]
+        return None
+
+    # -- public API -------------------------------------------------------------
+
+    def put(self, data: bytes, node: str, pin: bool = True):
+        """Upload ``data`` to ``node``; returns the root CID.
+
+        The paper measures "the time between uploading the gradients to an
+        IPFS node until the receipt of the store acknowledgment" — that is
+        exactly the duration of this call.
+        """
+        size = len(data) + REQUEST_OVERHEAD
+        response = yield from self._request(node, KIND_PUT, bytes(data), size)
+        if response is None:
+            raise NodeOfflineError(f"put to {node!r} timed out")
+        self.bytes_uploaded += size
+        root_cid: CID = response.payload
+        return root_cid
+
+    def get(self, cid: CID, prefer_nodes: Sequence[str] = (),
+            max_providers: int = 5):
+        """Download and verify the object behind ``cid``.
+
+        Tries ``prefer_nodes`` first, then up to ``max_providers`` from the
+        DHT.  Corrupted responses (hash mismatch) and timeouts skip to the
+        next provider.  Raises :class:`NotFoundError` when exhausted.
+        """
+        candidates: List[str] = list(prefer_nodes)
+        discovered = yield from self.dht.find_providers(
+            cid, limit=max_providers, querier=self.name
+        )
+        for node in discovered:
+            if node not in candidates:
+                candidates.append(node)
+        if not candidates:
+            raise NotFoundError(f"no providers for {cid!r}")
+        last_error: Optional[Exception] = None
+        for node in candidates:
+            response = yield from self._request(
+                node, KIND_GET, cid, REQUEST_OVERHEAD + CID_WIRE_SIZE
+            )
+            if response is None:
+                last_error = NodeOfflineError(f"get from {node!r} timed out")
+                continue
+            data = response.payload
+            if data is None:
+                last_error = NotFoundError(f"{node!r} no longer has {cid!r}")
+                continue
+            if compute_cid(self._object_bytes_for_cid(cid, data,
+                                                      self.chunk_size)) != cid:
+                last_error = IntegrityError(
+                    f"{node!r} served bytes not matching {cid!r}"
+                )
+                continue
+            self.bytes_downloaded += len(data) + REQUEST_OVERHEAD
+            return data
+        raise last_error or NotFoundError(f"could not retrieve {cid!r}")
+
+    @staticmethod
+    def _object_bytes_for_cid(cid: CID, data: bytes,
+                              chunk_size: int) -> bytes:
+        """Bytes whose hash must equal ``cid`` for object ``data``.
+
+        Objects are stored chunked under a manifest root, so the CID binds
+        the manifest; recompute it from the data to check integrity.
+        """
+        root, _leaves = chunk_object(data, chunk_size)
+        if root.cid == cid:
+            return root.data
+        return data  # bare block: the CID binds the data directly
+
+    def get_block(self, cid: CID, node: str):
+        """Fetch and verify one raw block from ``node``.
+
+        Returns the block bytes, or None on miss/timeout/corruption.
+        """
+        response = yield from self._request(
+            node, KIND_GET_BLOCK, cid, REQUEST_OVERHEAD + CID_WIRE_SIZE
+        )
+        if response is None or response.payload is None:
+            return None
+        data: bytes = response.payload
+        if compute_cid(data) != cid:
+            return None
+        self.bytes_downloaded += len(data) + REQUEST_OVERHEAD
+        return data
+
+    def get_striped(self, cid: CID, prefer_nodes: Sequence[str] = (),
+                    max_providers: int = 5):
+        """Swarm-style retrieval: stripe leaf blocks across providers.
+
+        Real bitswap downloads a chunked object block-by-block from
+        several peers in parallel; this does the same — fetch the
+        manifest, then pull the leaves concurrently round-robin over all
+        live providers, verifying every block by CID.  Falls back to a
+        whole-object :meth:`get` for unchunked content.
+
+        Raises :class:`NotFoundError` when any leaf cannot be produced
+        by any provider.
+        """
+        candidates: List[str] = list(prefer_nodes)
+        discovered = yield from self.dht.find_providers(
+            cid, limit=max_providers, querier=self.name
+        )
+        for node in discovered:
+            if node not in candidates:
+                candidates.append(node)
+        if not candidates:
+            raise NotFoundError(f"no providers for {cid!r}")
+
+        root_data = None
+        for node in candidates:
+            root_data = yield from self.get_block(cid, node)
+            if root_data is not None:
+                break
+        if root_data is None:
+            raise NotFoundError(f"could not retrieve manifest {cid!r}")
+        root = Block(root_data)
+        try:
+            leaf_cids = parse_manifest(root)
+        except ValueError:
+            return root_data  # bare block: the object itself
+
+        leaves: dict = {}
+
+        def fetch_leaf(leaf_cid, start_index):
+            for offset in range(len(candidates)):
+                node = candidates[(start_index + offset) % len(candidates)]
+                data = yield from self.get_block(leaf_cid, node)
+                if data is not None:
+                    leaves[leaf_cid] = Block(data)
+                    return
+
+        procs = [
+            self.sim.process(fetch_leaf(leaf_cid, index),
+                             name=f"{self.name}:leaf{index}")
+            for index, leaf_cid in enumerate(leaf_cids)
+        ]
+        if procs:
+            yield self.sim.all_of(procs)
+        missing = [leaf for leaf in leaf_cids if leaf not in leaves]
+        if missing:
+            raise NotFoundError(
+                f"{len(missing)} leaf block(s) unavailable for {cid!r}"
+            )
+        return reassemble(root, [leaves[leaf] for leaf in leaf_cids])
+
+    def merge_and_download(self, cids: Iterable[CID], node: str,
+                           merger: str = "sum-f64"):
+        """Ask ``node`` to pre-aggregate ``cids`` and return the merged bytes.
+
+        Returns ``(merged_bytes, count)``.  Raises :class:`MergeError` on a
+        provider-side failure and :class:`NodeOfflineError` on a timeout.
+        No client-side integrity check is possible against a single CID —
+        the verifiable-aggregation layer checks the merged result against
+        the product of the constituent Pedersen commitments instead.
+        """
+        cid_list = list(cids)
+        request = {"cids": cid_list, "merger": merger}
+        size = REQUEST_OVERHEAD + CID_WIRE_SIZE * len(cid_list)
+        response = yield from self._request(node, KIND_MERGE, request, size)
+        if response is None:
+            raise NodeOfflineError(f"merge on {node!r} timed out")
+        payload = response.payload
+        if "error" in payload:
+            raise MergeError(f"merge on {node!r} failed: {payload['error']}")
+        merged: bytes = payload["data"]
+        self.bytes_downloaded += len(merged) + REQUEST_OVERHEAD
+        return merged, payload["count"]
+
+    def unpin(self, cid: CID, node: str):
+        """Fire-and-forget unpin of an object on ``node``."""
+        self.endpoint.send(node, KIND_UNPIN, payload=cid,
+                           size=REQUEST_OVERHEAD)
+        yield self.sim.timeout(0)

@@ -1,0 +1,95 @@
+"""Reference federated averaging, free of any networking.
+
+This is the mathematical specification the decentralized protocol must
+match: the paper argues its "model's convergence rate and final accuracy
+will be exactly the same as that of traditional FL" because partition-wise
+summation-and-averaging commutes with whole-vector averaging.  The
+convergence-equivalence benchmark compares the protocol's model trajectory
+against :func:`run_fedavg` round by round.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .data import Dataset
+from .metrics import accuracy, mean_loss
+from .models import Model
+from .training import TrainConfig, compute_gradient, local_update
+
+__all__ = ["FedAvgResult", "fedavg_aggregate", "run_fedavg", "run_fedsgd"]
+
+
+@dataclass
+class FedAvgResult:
+    """Trajectory of a federated run."""
+
+    params_per_round: List[np.ndarray] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    test_accuracy: List[float] = field(default_factory=list)
+
+
+def fedavg_aggregate(updates: Sequence[np.ndarray]) -> np.ndarray:
+    """Plain (unweighted) average of client update vectors.
+
+    Matches Algorithm 1's scheme: the aggregator sums gradient partitions
+    with an appended counter of 1 per trainer, and trainers divide by that
+    counter — i.e. an unweighted mean.
+    """
+    if not updates:
+        raise ValueError("no updates to aggregate")
+    return np.mean(np.stack(updates), axis=0)
+
+
+def run_fedavg(
+    model: Model,
+    client_datasets: Sequence[Dataset],
+    rounds: int,
+    config: Optional[TrainConfig] = None,
+    test_set: Optional[Dataset] = None,
+    seed: int = 0,
+) -> FedAvgResult:
+    """Centralized-reference FedAvg on local copies (no network)."""
+    config = config or TrainConfig()
+    result = FedAvgResult()
+    for round_index in range(rounds):
+        updates = [
+            local_update(model, dataset, config,
+                         seed=seed + 1000 * round_index + client)
+            for client, dataset in enumerate(client_datasets)
+        ]
+        model.set_params(model.get_params() + fedavg_aggregate(updates))
+        result.params_per_round.append(model.get_params())
+        result.train_loss.append(float(np.mean([
+            mean_loss(model, dataset) for dataset in client_datasets
+        ])))
+        if test_set is not None:
+            result.test_accuracy.append(accuracy(model, test_set))
+    return result
+
+
+def run_fedsgd(
+    model: Model,
+    client_datasets: Sequence[Dataset],
+    rounds: int,
+    learning_rate: float = 0.1,
+    test_set: Optional[Dataset] = None,
+) -> FedAvgResult:
+    """FedSGD: one full-batch gradient per client per round, averaged."""
+    result = FedAvgResult()
+    for _ in range(rounds):
+        gradients = [
+            compute_gradient(model, dataset) for dataset in client_datasets
+        ]
+        step = fedavg_aggregate(gradients)
+        model.set_params(model.get_params() - learning_rate * step)
+        result.params_per_round.append(model.get_params())
+        result.train_loss.append(float(np.mean([
+            mean_loss(model, dataset) for dataset in client_datasets
+        ])))
+        if test_set is not None:
+            result.test_accuracy.append(accuracy(model, test_set))
+    return result

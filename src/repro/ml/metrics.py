@@ -1,0 +1,31 @@
+"""Evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .data import Dataset
+from .models import Model
+
+__all__ = ["accuracy", "mean_loss", "model_distance"]
+
+
+def accuracy(model: Model, dataset: Dataset) -> float:
+    """Fraction of correctly classified samples."""
+    predictions = model.predict(dataset.X)
+    return float(np.mean(predictions == dataset.y))
+
+
+def mean_loss(model: Model, dataset: Dataset) -> float:
+    """The model's loss on ``dataset``."""
+    loss, _ = model.loss_and_gradient(dataset.X, dataset.y)
+    return loss
+
+
+def model_distance(first: Model, second: Model) -> float:
+    """L2 distance between two models' parameter vectors.
+
+    Used by the convergence-equivalence experiment: the decentralized
+    protocol must track centralized FedAvg to numerical precision.
+    """
+    return float(np.linalg.norm(first.get_params() - second.get_params()))

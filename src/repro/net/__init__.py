@@ -1,0 +1,41 @@
+"""Flow-level network emulator (mininet substitute).
+
+Public surface:
+
+- :class:`Network` / :class:`Host` — hosts with up/down link capacities,
+  byte transfers under max-min fair sharing.
+- :class:`Transport` / :class:`Endpoint` / :class:`Message` — mailbox-based
+  message passing with request/response correlation.
+- :func:`build_testbed` — the paper's uniform-bandwidth deployments.
+- unit helpers: :func:`mbps`, :func:`megabytes`, ...
+"""
+
+from .bandwidth import Flow, FlowScheduler, Link, max_min_rates
+from .network import Host, Network
+from .topology import Testbed, build_testbed, uniform_network
+from .trace import TransferRecord, TransferTrace
+from .transport import Endpoint, Message, Transport
+from .units import gbps, kib, kilobytes, mbps, megabytes, mib
+
+__all__ = [
+    "Endpoint",
+    "Flow",
+    "FlowScheduler",
+    "Host",
+    "Link",
+    "Message",
+    "Network",
+    "Testbed",
+    "TransferRecord",
+    "TransferTrace",
+    "Transport",
+    "build_testbed",
+    "gbps",
+    "kib",
+    "kilobytes",
+    "max_min_rates",
+    "mbps",
+    "megabytes",
+    "mib",
+    "uniform_network",
+]

@@ -1,0 +1,195 @@
+"""Flow-level bandwidth sharing with max-min fairness.
+
+This module models the first-order network effects the paper's mininet
+testbed exhibits: a host's NIC capacity is shared among its concurrent
+transfers, so a single IPFS provider serving sixteen trainers is a
+bottleneck, while spreading uploads over four providers is not.
+
+The model is *flow-level*: a transfer is a fluid flow with a remaining byte
+count, and the set of concurrent flows receives a max-min fair allocation
+subject to each host's uplink and downlink capacities (progressive-filling
+algorithm).  Whenever a flow starts or finishes, every flow's progress is
+advanced and rates are recomputed; completions are scheduled by an epoch-
+validated timeout, so stale wakeups after a rate change are ignored.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim import Event, Simulator
+
+__all__ = ["Link", "Flow", "FlowScheduler", "max_min_rates"]
+
+#: Flows narrower than this (bytes) are treated as complete, guarding
+#: against float round-off never quite reaching zero.
+_EPSILON_BYTES = 1e-6
+
+
+class Link:
+    """A unidirectional capacity constraint (one direction of a host NIC)."""
+
+    __slots__ = ("name", "capacity")
+
+    def __init__(self, name: str, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"link {name!r} capacity must be positive")
+        self.name = name
+        self.capacity = float(capacity)
+
+    def __repr__(self) -> str:
+        return f"<Link {self.name} {self.capacity:g} B/s>"
+
+
+class Flow:
+    """A fluid transfer crossing a set of links."""
+
+    __slots__ = ("flow_id", "links", "remaining", "rate", "done", "total")
+
+    def __init__(self, flow_id: int, links: Tuple[Link, ...], size: float,
+                 done: Event):
+        self.flow_id = flow_id
+        self.links = links
+        self.total = float(size)
+        self.remaining = float(size)
+        self.rate = 0.0
+        self.done = done
+
+    def __repr__(self) -> str:
+        return (
+            f"<Flow #{self.flow_id} {self.remaining:g}/{self.total:g}B"
+            f" @{self.rate:g}B/s>"
+        )
+
+
+def max_min_rates(flows: List[Flow]) -> Dict[Flow, float]:
+    """Compute the max-min fair rate allocation for ``flows``.
+
+    Classic progressive filling: repeatedly find the most-contended link,
+    give every unfrozen flow crossing it that link's equal share, freeze
+    those flows, subtract their rates from the other links they cross.
+    Links with infinite capacity never bottleneck; a flow crossing only
+    infinite links gets an infinite rate (delivered instantaneously).
+    """
+    rates: Dict[Flow, float] = {}
+    active: Set[Flow] = set(flows)
+    residual: Dict[Link, float] = {}
+    load: Dict[Link, int] = {}
+    for flow in flows:
+        for link in flow.links:
+            residual.setdefault(link, link.capacity)
+            load[link] = load.get(link, 0) + 1
+
+    while active:
+        bottleneck: Optional[Link] = None
+        bottleneck_share = math.inf
+        for link, count in load.items():
+            if count <= 0:
+                continue
+            share = residual[link] / count
+            if share < bottleneck_share:
+                bottleneck_share = share
+                bottleneck = link
+        if bottleneck is None or math.isinf(bottleneck_share):
+            # Every remaining flow crosses only uncontended infinite links.
+            for flow in active:
+                rates[flow] = math.inf
+            break
+        frozen = [flow for flow in active if bottleneck in flow.links]
+        for flow in frozen:
+            rates[flow] = bottleneck_share
+            active.remove(flow)
+            for link in flow.links:
+                residual[link] -= bottleneck_share
+                load[link] -= 1
+        residual[bottleneck] = 0.0
+    return rates
+
+
+class FlowScheduler:
+    """Drives a set of concurrent flows to completion on the simulator.
+
+    Usage::
+
+        done = scheduler.start_flow((uplink, downlink), size_bytes)
+        yield done   # fires when the last byte is delivered
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._flows: List[Flow] = []
+        self._next_id = 0
+        #: Incremented on every rate change; invalidates scheduled wakeups.
+        self._epoch = 0
+        self._last_update = sim.now
+        #: Total bytes delivered since construction (telemetry).
+        self.bytes_delivered = 0.0
+
+    @property
+    def active_flows(self) -> int:
+        """Number of in-flight flows."""
+        return len(self._flows)
+
+    def start_flow(self, links: Tuple[Link, ...], size: float) -> Event:
+        """Begin transferring ``size`` bytes across ``links``.
+
+        Returns an event that fires (with value ``size``) when delivery
+        completes.  Zero-sized flows complete immediately.
+        """
+        if size < 0:
+            raise ValueError("flow size must be non-negative")
+        done = self.sim.event()
+        if size <= _EPSILON_BYTES:
+            done.succeed(size)
+            return done
+        self._advance()
+        flow = Flow(self._next_id, tuple(links), size, done)
+        self._next_id += 1
+        self._flows.append(flow)
+        self._reschedule()
+        return done
+
+    # -- internals ----------------------------------------------------------
+
+    def _advance(self) -> None:
+        """Account progress of all flows up to the current instant."""
+        elapsed = self.sim.now - self._last_update
+        self._last_update = self.sim.now
+        if elapsed <= 0:
+            return
+        for flow in self._flows:
+            if math.isinf(flow.rate):
+                flow.remaining = 0.0
+            else:
+                flow.remaining -= flow.rate * elapsed
+
+    def _reschedule(self) -> None:
+        """Recompute fair rates and schedule the next completion wakeup."""
+        self._epoch += 1
+        if not self._flows:
+            return
+        rates = max_min_rates(self._flows)
+        next_finish = math.inf
+        for flow in self._flows:
+            flow.rate = rates[flow]
+            if flow.rate <= 0:
+                continue
+            finish = 0.0 if math.isinf(flow.rate) else flow.remaining / flow.rate
+            next_finish = min(next_finish, finish)
+        if math.isinf(next_finish):
+            raise RuntimeError("active flows but no flow can make progress")
+        epoch = self._epoch
+        wakeup = self.sim.timeout(max(next_finish, 0.0))
+        wakeup._add_callback(lambda _event: self._on_wakeup(epoch))
+
+    def _on_wakeup(self, epoch: int) -> None:
+        if epoch != self._epoch:
+            return  # rates changed since this wakeup was scheduled
+        self._advance()
+        finished = [f for f in self._flows if f.remaining <= _EPSILON_BYTES]
+        self._flows = [f for f in self._flows if f.remaining > _EPSILON_BYTES]
+        for flow in finished:
+            self.bytes_delivered += flow.total
+            flow.done.succeed(flow.total)
+        self._reschedule()

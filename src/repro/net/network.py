@@ -1,0 +1,152 @@
+"""Hosts and the emulated network.
+
+A :class:`Network` owns a set of named :class:`Host` objects, each with an
+uplink and a downlink capacity, and moves byte payloads between them through
+the max-min fair :class:`~repro.net.bandwidth.FlowScheduler`.  Propagation
+latency is charged once per transfer before bytes start flowing.
+
+This replaces the paper's mininet testbed: the experiments there configure
+per-host bandwidths (10 or 20 Mbps) and measure transfer and queueing
+delays, which is exactly the fidelity this model provides.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, Optional
+
+from ..sim import Event, Simulator
+from .bandwidth import FlowScheduler, Link
+
+__all__ = ["Host", "Network"]
+
+
+class Host:
+    """A network endpoint with dedicated uplink/downlink capacities."""
+
+    def __init__(self, name: str, up_bandwidth: float, down_bandwidth: float):
+        self.name = name
+        self.uplink = Link(f"{name}/up", up_bandwidth)
+        self.downlink = Link(f"{name}/down", down_bandwidth)
+        #: Telemetry counters (bytes).
+        self.bytes_sent = 0.0
+        self.bytes_received = 0.0
+
+    @property
+    def up_bandwidth(self) -> float:
+        """Uplink capacity in bytes/second."""
+        return self.uplink.capacity
+
+    @property
+    def down_bandwidth(self) -> float:
+        """Downlink capacity in bytes/second."""
+        return self.downlink.capacity
+
+    def __repr__(self) -> str:
+        return f"<Host {self.name}>"
+
+
+class Network:
+    """The emulated network: a set of hosts plus a shared flow scheduler."""
+
+    def __init__(self, sim: Simulator, default_latency: float = 0.0,
+                 latency_fn: Optional[Callable[[str, str], float]] = None):
+        """
+        Parameters
+        ----------
+        sim:
+            The simulation kernel.
+        default_latency:
+            One-way propagation delay (seconds) applied to every transfer
+            unless ``latency_fn`` overrides it.
+        latency_fn:
+            Optional ``(src_name, dst_name) -> seconds`` override.
+        """
+        if default_latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.default_latency = default_latency
+        self._latency_fn = latency_fn
+        self._hosts: Dict[str, Host] = {}
+        self._scheduler = FlowScheduler(sim)
+
+    # -- host management ------------------------------------------------------
+
+    def add_host(self, name: str, up_bandwidth: float = math.inf,
+                 down_bandwidth: Optional[float] = None) -> Host:
+        """Register a host.  ``down_bandwidth`` defaults to ``up_bandwidth``."""
+        if name in self._hosts:
+            raise ValueError(f"host {name!r} already exists")
+        if down_bandwidth is None:
+            down_bandwidth = up_bandwidth
+        host = Host(name, up_bandwidth, down_bandwidth)
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        """Look up a host by name."""
+        return self._hosts[name]
+
+    def hosts(self) -> Iterable[Host]:
+        """All registered hosts."""
+        return self._hosts.values()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._hosts
+
+    # -- data movement ---------------------------------------------------------
+
+    def latency(self, src: str, dst: str) -> float:
+        """One-way propagation delay between two hosts."""
+        if src == dst:
+            return 0.0
+        if self._latency_fn is not None:
+            return self._latency_fn(src, dst)
+        return self.default_latency
+
+    def transfer(self, src: str, dst: str, size: float) -> Event:
+        """Move ``size`` bytes from ``src`` to ``dst``.
+
+        Returns an event firing when the last byte arrives.  Local
+        transfers (``src == dst``) complete after zero time.  The transfer
+        contends for the source uplink and the destination downlink under
+        max-min fairness with all other in-flight transfers.
+        """
+        source = self._hosts[src]
+        destination = self._hosts[dst]
+        if size < 0:
+            raise ValueError("transfer size must be non-negative")
+        source.bytes_sent += size
+        destination.bytes_received += size
+        done = self.sim.event()
+        if src == dst:
+            done.succeed(size)
+            return done
+        self.sim.process(
+            self._transfer_proc(source, destination, size, done),
+            name=f"xfer:{src}->{dst}",
+        )
+        return done
+
+    def _transfer_proc(self, source: Host, destination: Host, size: float,
+                       done: Event):
+        delay = self.latency(source.name, destination.name)
+        if delay > 0:
+            yield self.sim.timeout(delay)
+        flow_done = self._scheduler.start_flow(
+            (source.uplink, destination.downlink), size
+        )
+        yield flow_done
+        done.succeed(size)
+
+    # -- telemetry --------------------------------------------------------------
+
+    @property
+    def bytes_delivered(self) -> float:
+        """Total bytes delivered network-wide since construction."""
+        return self._scheduler.bytes_delivered
+
+    @property
+    def active_transfers(self) -> int:
+        """Number of transfers currently moving bytes."""
+        return self._scheduler.active_flows

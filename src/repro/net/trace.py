@@ -1,0 +1,114 @@
+"""Transfer tracing: a flow-level packet capture for the emulated network.
+
+Attach a :class:`TransferTrace` to a :class:`~repro.net.network.Network`
+and every transfer is recorded with its start/finish times, endpoints and
+byte count — the raw material for timeline analysis of protocol runs
+(who congested which link when), analogous to reading a pcap of the
+paper's mininet experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .network import Network
+
+__all__ = ["TransferRecord", "TransferTrace"]
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One completed transfer."""
+
+    src: str
+    dst: str
+    size: float
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Average bytes/second (inf for instantaneous transfers)."""
+        if self.duration <= 0:
+            return float("inf")
+        return self.size / self.duration
+
+
+class TransferTrace:
+    """Records every transfer made through a wrapped network."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.records: List[TransferRecord] = []
+        self._original_transfer = network.transfer
+        network.transfer = self._traced_transfer  # type: ignore[assignment]
+
+    def detach(self) -> None:
+        """Stop tracing; the network's transfer method is restored."""
+        self.network.transfer = self._original_transfer  # type: ignore
+
+    def _traced_transfer(self, src: str, dst: str, size: float):
+        started = self.network.sim.now
+        done = self._original_transfer(src, dst, size)
+
+        def record(_event):
+            self.records.append(TransferRecord(
+                src=src, dst=dst, size=size,
+                started_at=started,
+                finished_at=self.network.sim.now,
+            ))
+
+        done._add_callback(record)
+        return done
+
+    # -- analysis helpers ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def total_bytes(self) -> float:
+        return sum(record.size for record in self.records)
+
+    def bytes_by_pair(self) -> Dict[Tuple[str, str], float]:
+        """Traffic matrix: (src, dst) -> bytes."""
+        matrix: Dict[Tuple[str, str], float] = {}
+        for record in self.records:
+            key = (record.src, record.dst)
+            matrix[key] = matrix.get(key, 0.0) + record.size
+        return matrix
+
+    def bytes_by_host(self) -> Dict[str, Dict[str, float]]:
+        """Per-host ingress/egress: host -> {'in': bytes, 'out': bytes}."""
+        totals: Dict[str, Dict[str, float]] = {}
+        for record in self.records:
+            totals.setdefault(record.src, {"in": 0.0, "out": 0.0})
+            totals.setdefault(record.dst, {"in": 0.0, "out": 0.0})
+            totals[record.src]["out"] += record.size
+            totals[record.dst]["in"] += record.size
+        return totals
+
+    def busiest_host(self) -> Optional[str]:
+        """The host moving the most bytes (in + out)."""
+        totals = self.bytes_by_host()
+        if not totals:
+            return None
+        return max(totals, key=lambda host: (
+            totals[host]["in"] + totals[host]["out"]
+        ))
+
+    def filter(self, predicate: Callable[[TransferRecord], bool]
+               ) -> List[TransferRecord]:
+        """Records satisfying ``predicate``."""
+        return [record for record in self.records if predicate(record)]
+
+    def window(self, start: float, end: float) -> List[TransferRecord]:
+        """Transfers overlapping the time window [start, end]."""
+        return [
+            record for record in self.records
+            if record.finished_at >= start and record.started_at <= end
+        ]

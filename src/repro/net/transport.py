@@ -1,0 +1,128 @@
+"""Message transport on top of the flow-level network.
+
+Gives every host a mailbox and a request/response discipline.  Participants
+and IPFS nodes in the protocol stack exchange :class:`Message` objects whose
+``size`` charges the network and whose ``payload`` carries simulation-side
+Python objects (no serialization needed inside the simulator).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..sim import Event, FilterStore, Simulator
+from .network import Network
+
+__all__ = ["Message", "Transport", "Endpoint"]
+
+
+@dataclass
+class Message:
+    """A message in flight between two endpoints."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any = None
+    #: Bytes charged to the network for this message.
+    size: float = 0.0
+    #: Correlates a response with its request.
+    request_id: Optional[int] = None
+    #: Simulated time the message was delivered (set by the transport).
+    delivered_at: float = field(default=0.0, compare=False)
+
+
+class Endpoint:
+    """A host's mailbox plus convenience send/receive methods."""
+
+    def __init__(self, transport: "Transport", name: str):
+        self.transport = transport
+        self.name = name
+        self.inbox = FilterStore(transport.sim)
+
+    def send(self, dst: str, kind: str, payload: Any = None,
+             size: float = 0.0) -> Event:
+        """Send a one-way message; the event fires when it is delivered."""
+        return self.transport.send(
+            Message(src=self.name, dst=dst, kind=kind, payload=payload,
+                    size=size)
+        )
+
+    def receive(self, kind: Optional[str] = None) -> Event:
+        """Wait for the next message (optionally of a given kind)."""
+        if kind is None:
+            return self.inbox.get()
+        return self.inbox.get(lambda message: message.kind == kind)
+
+    def request(self, dst: str, kind: str, payload: Any = None,
+                size: float = 0.0):
+        """Send a request and wait for the matching response.
+
+        This is a process generator: ``response = yield from ep.request(...)``.
+        """
+        request_id = self.transport.next_request_id()
+        self.transport.send(
+            Message(src=self.name, dst=dst, kind=kind, payload=payload,
+                    size=size, request_id=request_id)
+        )
+        response = yield self.inbox.get(
+            lambda message: message.request_id == request_id
+        )
+        return response
+
+    def respond(self, request: Message, kind: str, payload: Any = None,
+                size: float = 0.0) -> Event:
+        """Answer ``request``, echoing its correlation id."""
+        return self.transport.send(
+            Message(src=self.name, dst=request.src, kind=kind,
+                    payload=payload, size=size,
+                    request_id=request.request_id)
+        )
+
+
+class Transport:
+    """Delivers messages between named endpoints over a :class:`Network`."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._request_ids = itertools.count(1)
+        #: Telemetry: messages delivered, keyed by kind.
+        self.delivered_by_kind: Dict[str, int] = {}
+
+    def endpoint(self, name: str) -> Endpoint:
+        """Create (or fetch) the endpoint for host ``name``.
+
+        The host must already exist on the network.
+        """
+        if name not in self.network:
+            raise KeyError(f"no such host on the network: {name!r}")
+        if name not in self._endpoints:
+            self._endpoints[name] = Endpoint(self, name)
+        return self._endpoints[name]
+
+    def next_request_id(self) -> int:
+        return next(self._request_ids)
+
+    def send(self, message: Message) -> Event:
+        """Queue ``message`` for delivery; the event fires at delivery."""
+        if message.dst not in self._endpoints:
+            raise KeyError(f"no endpoint registered for {message.dst!r}")
+        delivered = self.sim.event()
+        self.sim.process(
+            self._deliver(message, delivered),
+            name=f"msg:{message.kind}:{message.src}->{message.dst}",
+        )
+        return delivered
+
+    def _deliver(self, message: Message, delivered: Event):
+        yield self.network.transfer(message.src, message.dst, message.size)
+        message.delivered_at = self.sim.now
+        self.delivered_by_kind[message.kind] = (
+            self.delivered_by_kind.get(message.kind, 0) + 1
+        )
+        yield self._endpoints[message.dst].inbox.put(message)
+        delivered.succeed(message)

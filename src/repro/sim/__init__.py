@@ -1,0 +1,40 @@
+"""Discrete-event simulation kernel (SimPy-style, dependency-free).
+
+Public surface:
+
+- :class:`Simulator` — the virtual clock and event queue.
+- :class:`Event`, :class:`Timeout`, :class:`Process` — core event types.
+- :class:`AllOf` / :class:`AnyOf` — condition events.
+- :class:`Interrupt` — exception thrown into interrupted processes.
+- :class:`Store`, :class:`FilterStore`, :class:`Resource`,
+  :class:`Container` — waitable primitives.
+"""
+
+from .core import (
+    AllOf,
+    AnyOf,
+    Condition,
+    Event,
+    Interrupt,
+    Process,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+from .primitives import Container, FilterStore, Resource, Store
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Condition",
+    "Container",
+    "Event",
+    "FilterStore",
+    "Interrupt",
+    "Process",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "Store",
+    "Timeout",
+]

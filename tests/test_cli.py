@@ -1,0 +1,77 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_train_defaults():
+    args = build_parser().parse_args(["train"])
+    assert args.trainers == 8
+    assert not args.verifiable
+
+
+def test_train_small_run(capsys):
+    code = main([
+        "train", "--trainers", "4", "--rounds", "1",
+        "--partitions", "2", "--ipfs-nodes", "2",
+        "--features", "6", "--samples", "120",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "accuracy" in out
+    assert "identical global model" in out
+
+
+def test_train_verifiable_run(capsys):
+    code = main([
+        "train", "--trainers", "4", "--rounds", "1",
+        "--partitions", "2", "--ipfs-nodes", "2",
+        "--features", "6", "--samples", "120", "--verifiable",
+    ])
+    assert code == 0
+    assert "verifiable" in capsys.readouterr().out
+
+
+def test_train_non_iid_merge(capsys):
+    code = main([
+        "train", "--trainers", "4", "--rounds", "1",
+        "--partitions", "2", "--ipfs-nodes", "4",
+        "--features", "6", "--samples", "200",
+        "--non-iid", "--merge-and-download", "--providers", "2",
+    ])
+    assert code == 0
+    assert "merge-and-download" in capsys.readouterr().out
+
+
+def test_providers_sweep_small(capsys):
+    code = main([
+        "providers-sweep", "--trainers", "4",
+        "--partition-mb", "0.1", "--providers", "1", "2",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "analytic optimum" in out
+    assert "providers" in out
+
+
+def test_commit_cost_small(capsys):
+    code = main([
+        "commit-cost", "--sizes", "64", "--curves", "secp256k1",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "secp256k1" in out
+    assert "sha256" in out
+
+
+def test_reproduce_parser():
+    args = build_parser().parse_args(["reproduce", "--figures", "fig1"])
+    assert args.figures == ["fig1"]
+    args = build_parser().parse_args(["reproduce"])
+    assert args.figures == ["fig1", "fig2", "fig3"]

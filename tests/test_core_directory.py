@@ -1,0 +1,283 @@
+"""Integration tests for the directory service over the emulated network."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Address,
+    GRADIENT,
+    PARTIAL_UPDATE,
+    UPDATE,
+    PartitionCommitter,
+)
+from repro.core.directory import DirectoryClient, DirectoryService
+from repro.crypto import Commitment
+from repro.ipfs import DHT, IPFSClient, IPFSNode
+from repro.net import Network, Transport, mbps
+from repro.sim import Simulator
+
+
+PARTITION_LEN = 4
+
+
+def make_world(verifiable=False, trainer_assignment=None, num_trainers=3):
+    sim = Simulator()
+    network = Network(sim)
+    names = ["directory", "ipfs-0"] + [f"client-{i}" for i in range(4)]
+    for name in names:
+        network.add_host(name, up_bandwidth=mbps(50))
+    transport = Transport(network)
+    for name in names:
+        transport.endpoint(name)
+    dht = DHT(sim, lookup_delay=0.0)
+    node = IPFSNode(sim, transport, dht, "ipfs-0")
+    committer = PartitionCommitter(PARTITION_LEN)
+    directory = DirectoryService(
+        sim, transport, dht,
+        committers={0: committer, 1: committer},
+        trainer_assignment=trainer_assignment or {},
+        verifiable=verifiable,
+        expected_trainers=num_trainers,
+    )
+    return sim, transport, dht, node, directory, committer
+
+
+def run(sim, generator):
+    proc = sim.process(generator)
+    sim.run()
+    if not proc.ok:
+        raise proc.value
+    return proc.value
+
+
+def test_register_and_lookup_gradient():
+    sim, transport, dht, node, directory, committer = make_world()
+    client = DirectoryClient("client-0", transport)
+    cid = node.store_object(b"gradient-data")
+
+    def scenario():
+        address = Address("client-0", 0, 0, GRADIENT)
+        ack = yield from client.register(address, cid)
+        assert ack["accepted"]
+        results = yield from client.lookup(0, 0, GRADIENT)
+        return results
+
+    results = run(sim, scenario())
+    assert len(results) == 1
+    assert results[0]["uploader_id"] == "client-0"
+    assert results[0]["cid"] == cid
+
+
+def test_lookup_filters_by_partition_iteration_kind():
+    sim, transport, dht, node, directory, committer = make_world()
+    client = DirectoryClient("client-0", transport)
+    cid = node.store_object(b"data")
+
+    def scenario():
+        yield from client.register(Address("c", 0, 0, GRADIENT), cid)
+        yield from client.register(Address("c", 1, 0, GRADIENT), cid)
+        yield from client.register(Address("c", 0, 1, GRADIENT), cid)
+        p0_i0 = yield from client.lookup(0, 0, GRADIENT)
+        p1_i0 = yield from client.lookup(1, 0, GRADIENT)
+        p0_i1 = yield from client.lookup(0, 1, GRADIENT)
+        updates = yield from client.lookup(0, 0, UPDATE)
+        return p0_i0, p1_i0, p0_i1, updates
+
+    p0_i0, p1_i0, p0_i1, updates = run(sim, scenario())
+    assert len(p0_i0) == len(p1_i0) == len(p0_i1) == 1
+    assert updates == []
+
+
+def test_lookup_filters_by_aggregator():
+    assignment = {("t0", 0): "agg-a", ("t1", 0): "agg-b"}
+    sim, transport, dht, node, directory, committer = make_world(
+        trainer_assignment=assignment
+    )
+    client = DirectoryClient("client-0", transport)
+    cid = node.store_object(b"data")
+
+    def scenario():
+        yield from client.register(Address("t0", 0, 0, GRADIENT), cid)
+        yield from client.register(Address("t1", 0, 0, GRADIENT), cid)
+        mine = yield from client.lookup(0, 0, GRADIENT,
+                                        aggregator_id="agg-a")
+        theirs = yield from client.lookup(0, 0, GRADIENT,
+                                          aggregator_id="agg-b")
+        return mine, theirs
+
+    mine, theirs = run(sim, scenario())
+    assert [row["uploader_id"] for row in mine] == ["t0"]
+    assert [row["uploader_id"] for row in theirs] == ["t1"]
+
+
+def test_accumulated_commitments_total_and_per_aggregator():
+    assignment = {("t0", 0): "agg-a", ("t1", 0): "agg-a", ("t2", 0): "agg-b"}
+    sim, transport, dht, node, directory, committer = make_world(
+        verifiable=True, trainer_assignment=assignment
+    )
+    client = DirectoryClient("client-0", transport)
+    rng = np.random.default_rng(0)
+    blobs, commitments = {}, {}
+    for trainer in ("t0", "t1", "t2"):
+        blob, commitment = committer.encode_and_commit(
+            rng.normal(size=PARTITION_LEN)
+        )
+        blobs[trainer], commitments[trainer] = blob, commitment
+    cid = node.store_object(b"placeholder")
+
+    def scenario():
+        for trainer in ("t0", "t1", "t2"):
+            yield from client.register(
+                Address(trainer, 0, 0, GRADIENT), cid, commitments[trainer]
+            )
+        total, total_count = yield from client.accumulated(0, 0)
+        agg_a, a_count = yield from client.accumulated(
+            0, 0, aggregator_id="agg-a"
+        )
+        return total, total_count, agg_a, a_count
+
+    total, total_count, agg_a, a_count = run(sim, scenario())
+    assert total_count == 3
+    assert a_count == 2
+    expected_total = Commitment.product(
+        list(commitments.values()), committer.curve
+    )
+    assert total == expected_total
+    expected_a = commitments["t0"].combine(commitments["t1"])
+    assert agg_a == expected_a
+
+
+def test_update_verification_accepts_honest_aggregate():
+    sim, transport, dht, node, directory, committer = make_world(
+        verifiable=True
+    )
+    client = DirectoryClient("client-0", transport)
+    ipfs = IPFSClient("client-1", transport, dht)
+    rng = np.random.default_rng(1)
+    from repro.core import sum_encoded_partitions
+    blobs, commitments = [], []
+    for trainer in range(3):
+        blob, commitment = committer.encode_and_commit(
+            rng.normal(size=PARTITION_LEN)
+        )
+        blobs.append(blob)
+        commitments.append(commitment)
+    grad_cid = node.store_object(b"g")
+
+    def scenario(sim):
+        for index in range(3):
+            yield from client.register(
+                Address(f"t{index}", 0, 0, GRADIENT), grad_cid,
+                commitments[index],
+            )
+        aggregate = sum_encoded_partitions(blobs)
+        update_cid = yield from ipfs.put(aggregate, node="ipfs-0")
+        yield from client.register(
+            Address("agg", 0, 0, UPDATE), update_cid
+        )
+        yield sim.timeout(30.0)  # let async verification run
+        results = yield from client.lookup(0, 0, UPDATE)
+        return results
+
+    results = run(sim, scenario(sim))
+    assert len(results) == 1
+    assert not directory.rejections
+
+
+def test_update_verification_rejects_dropped_gradient():
+    sim, transport, dht, node, directory, committer = make_world(
+        verifiable=True
+    )
+    client = DirectoryClient("client-0", transport)
+    ipfs = IPFSClient("client-1", transport, dht)
+    rng = np.random.default_rng(2)
+    from repro.core import sum_encoded_partitions
+    blobs, commitments = [], []
+    for _ in range(3):
+        blob, commitment = committer.encode_and_commit(
+            rng.normal(size=PARTITION_LEN)
+        )
+        blobs.append(blob)
+        commitments.append(commitment)
+    grad_cid = node.store_object(b"g")
+
+    def scenario(sim):
+        for index in range(3):
+            yield from client.register(
+                Address(f"t{index}", 0, 0, GRADIENT), grad_cid,
+                commitments[index],
+            )
+        incomplete = sum_encoded_partitions(blobs[:2])  # dropped one
+        update_cid = yield from ipfs.put(incomplete, node="ipfs-0")
+        yield from client.register(Address("agg", 0, 0, UPDATE), update_cid)
+        yield sim.timeout(30.0)
+        results = yield from client.lookup(0, 0, UPDATE)
+        return results
+
+    results = run(sim, scenario(sim))
+    assert results == []  # rejected updates stay invisible
+    assert len(directory.rejections) == 1
+    assert "mismatch" in directory.rejections[0].reason
+
+
+def test_update_first_wins_duplicates_refused():
+    sim, transport, dht, node, directory, committer = make_world()
+    client = DirectoryClient("client-0", transport)
+    cid1 = node.store_object(b"first update")
+    cid2 = node.store_object(b"second update")
+
+    def scenario():
+        first = yield from client.register(Address("a1", 0, 0, UPDATE), cid1)
+        second = yield from client.register(Address("a2", 0, 0, UPDATE), cid2)
+        results = yield from client.lookup(0, 0, UPDATE)
+        return first, second, results
+
+    first, second, results = run(sim, scenario())
+    assert first["accepted"]
+    assert not second["accepted"]
+    assert len(results) == 1
+    assert results[0]["cid"] == cid1
+
+
+def test_partial_updates_stored_without_verification():
+    sim, transport, dht, node, directory, committer = make_world(
+        verifiable=True
+    )
+    client = DirectoryClient("client-0", transport)
+    cid = node.store_object(b"partial")
+
+    def scenario():
+        ack = yield from client.register(
+            Address("agg-a", 0, 0, PARTIAL_UPDATE), cid
+        )
+        results = yield from client.lookup(0, 0, PARTIAL_UPDATE)
+        return ack, results
+
+    ack, results = run(sim, scenario())
+    assert ack["accepted"]
+    assert len(results) == 1
+
+
+def test_first_gradient_time_recorded():
+    sim, transport, dht, node, directory, committer = make_world()
+    client = DirectoryClient("client-0", transport)
+    cid = node.store_object(b"g")
+
+    def scenario(sim):
+        yield sim.timeout(5.0)
+        yield from client.register(Address("t0", 0, 0, GRADIENT), cid)
+        yield from client.register(Address("t1", 0, 0, GRADIENT), cid)
+
+    run(sim, scenario(sim))
+    assert directory.first_gradient_time[0] >= 5.0
+    assert directory.register_count == 2
+
+
+def test_verifiable_requires_committers():
+    sim = Simulator()
+    network = Network(sim)
+    network.add_host("directory")
+    transport = Transport(network)
+    dht = DHT(sim)
+    with pytest.raises(ValueError):
+        DirectoryService(sim, transport, dht, verifiable=True)

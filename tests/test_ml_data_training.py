@@ -1,0 +1,220 @@
+"""Tests for datasets, federated partitioners, training and reference FedAvg."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    Dataset,
+    LogisticRegression,
+    TrainConfig,
+    accuracy,
+    compute_gradient,
+    fedavg_aggregate,
+    local_update,
+    make_classification,
+    make_regression,
+    mean_loss,
+    model_distance,
+    run_fedavg,
+    run_fedsgd,
+    split_dirichlet,
+    split_iid,
+    split_shards,
+    train_test_split,
+)
+
+
+# -- datasets --------------------------------------------------------------------
+
+
+def test_make_classification_shapes():
+    data = make_classification(num_samples=100, num_features=7,
+                               num_classes=3)
+    assert data.X.shape == (100, 7)
+    assert data.y.shape == (100,)
+    assert set(np.unique(data.y)) <= {0, 1, 2}
+    assert data.num_features == 7
+    assert len(data) == 100
+
+
+def test_make_classification_reproducible():
+    a = make_classification(seed=42)
+    b = make_classification(seed=42)
+    np.testing.assert_array_equal(a.X, b.X)
+
+
+def test_make_regression_teacher_signal():
+    data = make_regression(num_samples=2000, num_features=3,
+                           noise=0.01, seed=1)
+    # Targets should correlate strongly with a least-squares fit.
+    coeffs, *_ = np.linalg.lstsq(data.X, data.y, rcond=None)
+    residual = data.y - data.X @ coeffs
+    assert np.std(residual) < 0.05
+
+
+def test_dataset_validation():
+    with pytest.raises(ValueError):
+        Dataset(np.zeros((3, 2)), np.zeros(4))
+
+
+def test_train_test_split_partitions():
+    data = make_classification(num_samples=100)
+    train, test = train_test_split(data, test_fraction=0.25, seed=0)
+    assert len(train) == 75 and len(test) == 25
+    with pytest.raises(ValueError):
+        train_test_split(data, test_fraction=1.5)
+
+
+# -- partitioners -----------------------------------------------------------------
+
+
+def test_split_iid_covers_everything():
+    data = make_classification(num_samples=103)
+    shards = split_iid(data, 4)
+    assert sum(len(s) for s in shards) == 103
+    assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+
+def test_split_iid_validation():
+    data = make_classification(num_samples=10)
+    with pytest.raises(ValueError):
+        split_iid(data, 0)
+    with pytest.raises(ValueError):
+        split_iid(data, 11)
+
+
+def test_split_dirichlet_covers_everything():
+    data = make_classification(num_samples=300, num_classes=4)
+    shards = split_dirichlet(data, 5, alpha=0.5, seed=1)
+    assert sum(len(s) for s in shards) == 300
+    assert all(len(s) >= 1 for s in shards)
+
+
+def test_split_dirichlet_small_alpha_is_skewed():
+    data = make_classification(num_samples=600, num_classes=3, seed=2)
+    shards = split_dirichlet(data, 3, alpha=0.05, seed=3)
+    # With tiny alpha, at least one client should be dominated by one class.
+    dominances = []
+    for shard in shards:
+        _, counts = np.unique(shard.y, return_counts=True)
+        dominances.append(counts.max() / counts.sum())
+    assert max(dominances) > 0.8
+
+
+def test_split_dirichlet_validation():
+    data = make_classification(num_samples=50)
+    with pytest.raises(ValueError):
+        split_dirichlet(data, 0)
+    with pytest.raises(ValueError):
+        split_dirichlet(data, 2, alpha=0.0)
+
+
+def test_split_shards_limits_classes_per_client():
+    data = make_classification(num_samples=400, num_classes=8, seed=4)
+    shards = split_shards(data, num_clients=8, shards_per_client=2, seed=5)
+    assert sum(len(s) for s in shards) == 400
+    for shard in shards:
+        assert len(np.unique(shard.y)) <= 4  # few classes per client
+
+
+def test_split_shards_validation():
+    data = make_classification(num_samples=10)
+    with pytest.raises(ValueError):
+        split_shards(data, num_clients=0)
+    with pytest.raises(ValueError):
+        split_shards(data, num_clients=6, shards_per_client=2)
+
+
+# -- training ----------------------------------------------------------------------
+
+
+def test_train_config_validation():
+    with pytest.raises(ValueError):
+        TrainConfig(learning_rate=0.0)
+    with pytest.raises(ValueError):
+        TrainConfig(epochs=0)
+    with pytest.raises(ValueError):
+        TrainConfig(batch_size=0)
+
+
+def test_compute_gradient_matches_model():
+    data = make_classification(num_samples=50, num_features=4)
+    model = LogisticRegression(num_features=4)
+    gradient = compute_gradient(model, data)
+    _, expected = model.loss_and_gradient(data.X, data.y)
+    np.testing.assert_array_equal(gradient, expected)
+
+
+def test_local_update_does_not_mutate_model():
+    data = make_classification(num_samples=50, num_features=4)
+    model = LogisticRegression(num_features=4)
+    before = model.get_params().copy()
+    local_update(model, data, TrainConfig(epochs=2))
+    np.testing.assert_array_equal(model.get_params(), before)
+
+
+def test_local_update_reduces_loss():
+    data = make_classification(num_samples=200, num_features=4,
+                               class_separation=3.0)
+    model = LogisticRegression(num_features=4)
+    delta = local_update(model, data, TrainConfig(epochs=5,
+                                                  learning_rate=0.5))
+    before = mean_loss(model, data)
+    model.set_params(model.get_params() + delta)
+    assert mean_loss(model, data) < before
+
+
+def test_local_update_deterministic_given_seed():
+    data = make_classification(num_samples=50, num_features=4)
+    model = LogisticRegression(num_features=4)
+    d1 = local_update(model, data, TrainConfig(), seed=7)
+    d2 = local_update(model, data, TrainConfig(), seed=7)
+    np.testing.assert_array_equal(d1, d2)
+
+
+# -- reference FedAvg/FedSGD ----------------------------------------------------------
+
+
+def test_fedavg_aggregate_is_mean():
+    updates = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+    np.testing.assert_allclose(fedavg_aggregate(updates), [2.0, 3.0])
+    with pytest.raises(ValueError):
+        fedavg_aggregate([])
+
+
+def test_run_fedavg_converges_iid():
+    data = make_classification(num_samples=600, num_features=5,
+                               num_classes=2, class_separation=3.0, seed=6)
+    train, test = train_test_split(data, seed=6)
+    clients = split_iid(train, 4, seed=6)
+    model = LogisticRegression(num_features=5, num_classes=2)
+    result = run_fedavg(model, clients, rounds=10,
+                        config=TrainConfig(epochs=2, learning_rate=0.5),
+                        test_set=test)
+    assert result.test_accuracy[-1] > 0.9
+    assert result.train_loss[-1] < result.train_loss[0]
+
+
+def test_fedsgd_equals_centralized_gradient_descent():
+    """With equal shard sizes, averaged FedSGD == centralized full-batch GD."""
+    data = make_classification(num_samples=400, num_features=4, seed=7)
+    clients = split_iid(data, 4, seed=7)
+    fed_model = LogisticRegression(num_features=4, seed=8)
+    central_model = LogisticRegression(num_features=4, seed=8)
+
+    run_fedsgd(fed_model, clients, rounds=5, learning_rate=0.3)
+
+    for _ in range(5):
+        grads = [compute_gradient(central_model, shard) for shard in clients]
+        step = np.mean(grads, axis=0)
+        central_model.set_params(central_model.get_params() - 0.3 * step)
+
+    assert model_distance(fed_model, central_model) < 1e-12
+
+
+def test_metrics_accuracy_bounds():
+    data = make_classification(num_samples=50, num_features=3,
+                               class_separation=5.0)
+    model = LogisticRegression(num_features=3)
+    value = accuracy(model, data)
+    assert 0.0 <= value <= 1.0

@@ -1,0 +1,184 @@
+"""Unit tests for the max-min fair flow scheduler."""
+
+import math
+
+import pytest
+
+from repro.net.bandwidth import Flow, FlowScheduler, Link, max_min_rates
+from repro.sim import Simulator
+
+
+def make_flow(links, size=100.0):
+    return Flow(0, tuple(links), size, done=None)
+
+
+# -- max_min_rates (pure function) --------------------------------------------
+
+
+def test_single_flow_gets_full_capacity():
+    link = Link("l", 100.0)
+    flow = make_flow([link])
+    rates = max_min_rates([flow])
+    assert rates[flow] == 100.0
+
+
+def test_two_flows_share_link_equally():
+    link = Link("l", 100.0)
+    f1, f2 = make_flow([link]), make_flow([link])
+    rates = max_min_rates([f1, f2])
+    assert rates[f1] == rates[f2] == 50.0
+
+
+def test_max_min_unequal_bottlenecks():
+    """Flow through a narrow link frees capacity for the wide-link flow."""
+    narrow = Link("narrow", 10.0)
+    wide = Link("wide", 100.0)
+    constrained = make_flow([narrow, wide])
+    free = make_flow([wide])
+    rates = max_min_rates([constrained, free])
+    assert rates[constrained] == 10.0
+    assert rates[free] == 90.0
+
+
+def test_max_min_three_level():
+    a = Link("a", 30.0)
+    b = Link("b", 100.0)
+    f1 = make_flow([a])       # shares a: 15
+    f2 = make_flow([a, b])    # bottleneck a: 15
+    f3 = make_flow([b])       # rest of b: 85
+    rates = max_min_rates([f1, f2, f3])
+    assert rates[f1] == pytest.approx(15.0)
+    assert rates[f2] == pytest.approx(15.0)
+    assert rates[f3] == pytest.approx(85.0)
+
+
+def test_infinite_links_give_infinite_rate():
+    link = Link("inf", math.inf)
+    flow = make_flow([link])
+    rates = max_min_rates([flow])
+    assert math.isinf(rates[flow])
+
+
+def test_infinite_and_finite_mixed():
+    fast = Link("fast", math.inf)
+    slow = Link("slow", 10.0)
+    f_mixed = make_flow([fast, slow])
+    f_free = make_flow([fast])
+    rates = max_min_rates([f_mixed, f_free])
+    assert rates[f_mixed] == 10.0
+    assert math.isinf(rates[f_free])
+
+
+def test_link_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Link("bad", 0.0)
+
+
+# -- FlowScheduler (timing) -----------------------------------------------------
+
+
+def run_flows(flow_specs):
+    """Start flows per (start_time, links, size); return completion times."""
+    sim = Simulator()
+    completions = {}
+
+    def starter(sim, scheduler, name, start, links, size):
+        if start > 0:
+            yield sim.timeout(start)
+        done = scheduler.start_flow(links, size)
+        yield done
+        completions[name] = sim.now
+
+    scheduler = FlowScheduler(sim)
+    for name, (start, links, size) in flow_specs.items():
+        sim.process(starter(sim, scheduler, name, start, links, size))
+    sim.run()
+    return completions
+
+
+def test_single_flow_timing():
+    link = Link("l", 10.0)
+    completions = run_flows({"f": (0.0, (link,), 100.0)})
+    assert completions["f"] == pytest.approx(10.0)
+
+
+def test_two_concurrent_flows_halve_throughput():
+    link = Link("l", 10.0)
+    completions = run_flows({
+        "a": (0.0, (link,), 100.0),
+        "b": (0.0, (link,), 100.0),
+    })
+    assert completions["a"] == pytest.approx(20.0)
+    assert completions["b"] == pytest.approx(20.0)
+
+
+def test_flow_joining_mid_transfer_slows_existing():
+    """A 100B flow alone for 5s (50B done), then sharing: 50B at rate 5."""
+    link = Link("l", 10.0)
+    completions = run_flows({
+        "first": (0.0, (link,), 100.0),
+        "late": (5.0, (link,), 100.0),
+    })
+    # first: 50B alone by t=5, then 50B at the shared 5 B/s -> t=15.
+    assert completions["first"] == pytest.approx(15.0)
+    # late: 50B during the shared decade (t=5..15), then 50B alone -> t=20.
+    assert completions["late"] == pytest.approx(20.0)
+
+
+def test_short_flow_finishing_speeds_up_long_flow():
+    link = Link("l", 10.0)
+    completions = run_flows({
+        "short": (0.0, (link,), 10.0),   # shares 5 B/s -> done at 2s
+        "long": (0.0, (link,), 100.0),   # 10B by 2s, then 90B at 10 B/s
+    })
+    assert completions["short"] == pytest.approx(2.0)
+    assert completions["long"] == pytest.approx(11.0)
+
+
+def test_zero_size_flow_completes_immediately():
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    done = scheduler.start_flow((Link("l", 10.0),), 0.0)
+    assert done.triggered
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    with pytest.raises(ValueError):
+        scheduler.start_flow((Link("l", 10.0),), -1.0)
+
+
+def test_bytes_delivered_accumulates():
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    link = Link("l", 10.0)
+
+    def proc(sim, scheduler):
+        yield scheduler.start_flow((link,), 30.0)
+        yield scheduler.start_flow((link,), 70.0)
+
+    sim.process(proc(sim, scheduler))
+    sim.run()
+    assert scheduler.bytes_delivered == pytest.approx(100.0)
+
+
+def test_fan_in_congestion():
+    """N uploads into one destination link serialize to N*size/capacity."""
+    destination = Link("dst/down", 10.0)
+    sources = [Link(f"src{i}/up", 100.0) for i in range(4)]
+    specs = {
+        f"f{i}": (0.0, (sources[i], destination), 25.0) for i in range(4)
+    }
+    completions = run_flows(specs)
+    for i in range(4):
+        assert completions[f"f{i}"] == pytest.approx(10.0)
+
+
+def test_many_flows_complete():
+    link = Link("l", 100.0)
+    specs = {
+        f"f{i}": (float(i % 7), (link,), 50.0 + i) for i in range(60)
+    }
+    completions = run_flows(specs)
+    assert len(completions) == 60

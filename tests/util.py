@@ -1,0 +1,69 @@
+"""Shared test fixtures: small emulated IPFS deployments."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.ipfs import DHT, IPFSClient, IPFSNode, PubSub
+from repro.net import Network, Transport, mbps
+from repro.sim import Simulator
+
+
+@dataclass
+class IPFSWorld:
+    """A ready-made simulator + network + IPFS nodes + clients."""
+
+    sim: Simulator
+    network: Network
+    transport: Transport
+    dht: DHT
+    pubsub: PubSub
+    nodes: List[IPFSNode] = field(default_factory=list)
+    clients: Dict[str, IPFSClient] = field(default_factory=dict)
+
+    def node(self, index: int) -> IPFSNode:
+        return self.nodes[index]
+
+    def client(self, name: str) -> IPFSClient:
+        return self.clients[name]
+
+
+def make_ipfs_world(
+    num_nodes: int = 2,
+    client_names=("client-0",),
+    bandwidth_mbps: float = 10.0,
+    lookup_delay: float = 0.0,
+    latency: float = 0.0,
+    request_timeout: float = 120.0,
+) -> IPFSWorld:
+    """Build a world with ``num_nodes`` IPFS nodes and the given clients."""
+    sim = Simulator()
+    network = Network(sim, default_latency=latency)
+    bandwidth = mbps(bandwidth_mbps)
+    node_names = [f"ipfs-{i}" for i in range(num_nodes)]
+    for name in list(client_names) + node_names:
+        network.add_host(name, up_bandwidth=bandwidth,
+                         down_bandwidth=bandwidth)
+    transport = Transport(network)
+    dht = DHT(sim, lookup_delay=lookup_delay)
+    pubsub = PubSub(transport)
+    nodes = [
+        IPFSNode(sim, transport, dht, name) for name in node_names
+    ]
+    clients = {
+        name: IPFSClient(name, transport, dht,
+                         request_timeout=request_timeout)
+        for name in client_names
+    }
+    return IPFSWorld(
+        sim=sim, network=network, transport=transport, dht=dht,
+        pubsub=pubsub, nodes=nodes, clients=clients,
+    )
+
+
+def run_proc(world: IPFSWorld, generator):
+    """Run one client process to completion and return its value."""
+    process = world.sim.process(generator)
+    world.sim.run()
+    if not process.ok:
+        raise process.value
+    return process.value
