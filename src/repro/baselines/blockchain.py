@@ -23,6 +23,17 @@ import numpy as np
 
 from ..ml import Dataset, Model, compute_gradient, local_update
 from ..net import Network, Transport, mbps
+from ..obs import TelemetryCollector
+from ..obs.events import (
+    BytesReceived,
+    GradientRegistered,
+    GradientsAggregated,
+    IterationFinished,
+    IterationStarted,
+    TrainerCompleted,
+    UpdateRegistered,
+    UploadCompleted,
+)
 from ..sim import Simulator
 from ..core.config import ProtocolConfig
 from ..core.partition import decode_partition, encode_partition, \
@@ -142,7 +153,8 @@ class BlockchainFLSession:
         self.chains: Dict[str, Chain] = {
             name: Chain() for name in self.miner_names
         }
-        self.metrics = SessionMetrics()
+        self.telemetry = TelemetryCollector(self.sim.bus)
+        self.metrics: SessionMetrics = self.telemetry.session
         self._iteration = 0
 
     def _entry_miner(self, trainer: str) -> str:
@@ -154,8 +166,8 @@ class BlockchainFLSession:
 
     # -- processes ---------------------------------------------------------------
 
-    def _trainer_proc(self, name: str, iteration: int,
-                      metrics: IterationMetrics):
+    def _trainer_proc(self, name: str, iteration: int):
+        bus = self.sim.bus
         endpoint = self.transport.endpoint(name)
         model = self.models[name]
         if self.config.update_mode == "params":
@@ -174,7 +186,11 @@ class BlockchainFLSession:
             payload={"trainer": name, "iteration": iteration, "blob": blob},
             size=len(blob) + MESSAGE_OVERHEAD,
         )
-        metrics.upload_delays[name] = self.sim.now - upload_started
+        if bus.wants(UploadCompleted):
+            bus.publish(UploadCompleted(
+                at=self.sim.now, iteration=iteration, trainer=name,
+                delay=self.sim.now - upload_started,
+            ))
         message = yield endpoint.receive(kind=KIND_MODEL)
         values, counter = decode_partition(message.payload["blob"])
         averaged = values / counter
@@ -184,10 +200,13 @@ class BlockchainFLSession:
             model.set_params(
                 model.get_params() - self.config.learning_rate * averaged
             )
-        metrics.trainers_completed.append(name)
+        if bus.wants(TrainerCompleted):
+            bus.publish(TrainerCompleted(
+                at=self.sim.now, iteration=iteration, trainer=name,
+            ))
 
-    def _miner_proc(self, name: str, iteration: int,
-                    metrics: IterationMetrics):
+    def _miner_proc(self, name: str, iteration: int):
+        bus = self.sim.bus
         endpoint = self.transport.endpoint(name)
         chain = self.chains[name]
         is_leader = self._leader(iteration) == name
@@ -205,15 +224,20 @@ class BlockchainFLSession:
             if message.kind == KIND_SUBMIT:
                 if payload["iteration"] != iteration:
                     continue
-                if metrics.first_gradient_at is None:
-                    metrics.first_gradient_at = self.sim.now
+                if bus.wants(GradientRegistered):
+                    bus.publish(GradientRegistered(
+                        at=self.sim.now, iteration=iteration,
+                        uploader=payload["trainer"], partition_id=0,
+                    ))
                 blob = payload["blob"]
                 updates[payload["trainer"]] = blob
                 chain.payloads[blob_hash(blob)] = blob
-                metrics.bytes_received[name] = (
-                    metrics.bytes_received.get(name, 0.0)
-                    + len(blob) + MESSAGE_OVERHEAD
-                )
+                if bus.wants(BytesReceived):
+                    bus.publish(BytesReceived(
+                        at=self.sim.now, iteration=iteration,
+                        participant=name,
+                        amount=len(blob) + MESSAGE_OVERHEAD,
+                    ))
                 # Gossip the update to every other miner (the broadcast
                 # blow-up the paper criticizes).
                 for peer in self.miner_names:
@@ -228,21 +252,28 @@ class BlockchainFLSession:
                 blob = payload["blob"]
                 updates[payload["trainer"]] = blob
                 chain.payloads[blob_hash(blob)] = blob
-                metrics.bytes_received[name] = (
-                    metrics.bytes_received.get(name, 0.0)
-                    + len(blob) + MESSAGE_OVERHEAD
-                )
+                if bus.wants(BytesReceived):
+                    bus.publish(BytesReceived(
+                        at=self.sim.now, iteration=iteration,
+                        participant=name,
+                        amount=len(blob) + MESSAGE_OVERHEAD,
+                    ))
             elif message.kind == KIND_BLOCK:
                 block_received = payload["block"]
                 aggregate = payload["aggregate"]
                 chain.payloads[blob_hash(aggregate)] = aggregate
                 chain.append(block_received)
-                metrics.bytes_received[name] = (
-                    metrics.bytes_received.get(name, 0.0)
-                    + len(aggregate) + BLOCK_HEADER_SIZE
-                )
+                if bus.wants(BytesReceived):
+                    bus.publish(BytesReceived(
+                        at=self.sim.now, iteration=iteration,
+                        participant=name,
+                        amount=len(aggregate) + BLOCK_HEADER_SIZE,
+                    ))
 
-        metrics.gradients_aggregated_at[name] = self.sim.now
+        if bus.wants(GradientsAggregated):
+            bus.publish(GradientsAggregated(
+                at=self.sim.now, iteration=iteration, aggregator=name,
+            ))
         if not is_leader:
             return
 
@@ -276,27 +307,33 @@ class BlockchainFLSession:
             for trainer in self.trainer_names
         ]
         yield self.sim.all_of(block_sends + model_sends)
-        metrics.update_registered_at[name] = self.sim.now
+        if bus.wants(UpdateRegistered):
+            bus.publish(UpdateRegistered(
+                at=self.sim.now, iteration=iteration, aggregator=name,
+                partition_id=0,
+            ))
 
     # -- driving rounds ------------------------------------------------------------
 
-    def run_iteration(self) -> IterationMetrics:
+    def run_iteration(self) -> Optional[IterationMetrics]:
         """One BCFL round; returns its metrics."""
         iteration = self._iteration
         self._iteration += 1
-        metrics = IterationMetrics(iteration=iteration,
-                                   started_at=self.sim.now)
+        bus = self.sim.bus
+        if bus.wants(IterationStarted):
+            bus.publish(IterationStarted(at=self.sim.now,
+                                         iteration=iteration))
 
         def driver():
             processes = [
                 self.sim.process(
-                    self._trainer_proc(name, iteration, metrics),
+                    self._trainer_proc(name, iteration),
                     name=f"{name}:i{iteration}",
                 )
                 for name in self.trainer_names
             ] + [
                 self.sim.process(
-                    self._miner_proc(name, iteration, metrics),
+                    self._miner_proc(name, iteration),
                     name=f"{name}:i{iteration}",
                 )
                 for name in self.miner_names
@@ -307,9 +344,13 @@ class BlockchainFLSession:
         self.sim.run_until(driver_proc)
         if not driver_proc.ok:
             raise driver_proc.value
-        metrics.finished_at = self.sim.now
-        self.metrics.iterations.append(metrics)
-        return metrics
+        if bus.wants(IterationFinished):
+            bus.publish(IterationFinished(at=self.sim.now,
+                                          iteration=iteration))
+        if self.metrics.iterations and \
+                self.metrics.iterations[-1].iteration == iteration:
+            return self.metrics.iterations[-1]
+        return None
 
     def run(self, rounds: int) -> SessionMetrics:
         for _ in range(rounds):

@@ -14,6 +14,17 @@ import numpy as np
 
 from ..ml import Dataset, Model, compute_gradient, local_update
 from ..net import Network, Transport, mbps
+from ..obs import TelemetryCollector
+from ..obs.events import (
+    BytesReceived,
+    GradientRegistered,
+    GradientsAggregated,
+    IterationFinished,
+    IterationStarted,
+    TrainerCompleted,
+    UpdateRegistered,
+    UploadCompleted,
+)
 from ..sim import Simulator
 from ..core.config import ProtocolConfig
 from ..core.partition import decode_partition, encode_partition, \
@@ -59,11 +70,12 @@ class CentralizedSession:
             name: self._template.clone() for name in self.trainer_names
         }
         self.datasets = dict(zip(self.trainer_names, datasets))
-        self.metrics = SessionMetrics()
+        self.telemetry = TelemetryCollector(self.sim.bus)
+        self.metrics: SessionMetrics = self.telemetry.session
         self._iteration = 0
 
-    def _trainer_proc(self, name: str, iteration: int,
-                      metrics: IterationMetrics):
+    def _trainer_proc(self, name: str, iteration: int):
+        bus = self.sim.bus
         endpoint = self.transport.endpoint(name)
         model = self.models[name]
         if self.config.local_train_seconds > 0:
@@ -83,7 +95,11 @@ class CentralizedSession:
                             payload={"trainer": name, "blob": blob,
                                      "iteration": iteration},
                             size=len(blob) + MESSAGE_OVERHEAD)
-        metrics.upload_delays[name] = self.sim.now - upload_started
+        if bus.wants(UploadCompleted):
+            bus.publish(UploadCompleted(
+                at=self.sim.now, iteration=iteration, trainer=name,
+                delay=self.sim.now - upload_started,
+            ))
         message = yield endpoint.receive(kind=KIND_MODEL_DOWN)
         values, counter = decode_partition(message.payload["blob"])
         averaged = values / counter
@@ -93,23 +109,35 @@ class CentralizedSession:
             model.set_params(
                 model.get_params() - self.config.learning_rate * averaged
             )
-        metrics.trainers_completed.append(name)
+        if bus.wants(TrainerCompleted):
+            bus.publish(TrainerCompleted(
+                at=self.sim.now, iteration=iteration, trainer=name,
+            ))
 
-    def _server_proc(self, iteration: int, metrics: IterationMetrics):
+    def _server_proc(self, iteration: int):
+        bus = self.sim.bus
         endpoint = self.transport.endpoint(SERVER)
         blobs = []
         while len(blobs) < len(self.trainer_names):
             message = yield endpoint.receive(kind=KIND_UPDATE_UP)
             if message.payload["iteration"] != iteration:
                 continue
-            if metrics.first_gradient_at is None:
-                metrics.first_gradient_at = self.sim.now
+            if bus.wants(GradientRegistered):
+                bus.publish(GradientRegistered(
+                    at=self.sim.now, iteration=iteration,
+                    uploader=message.payload["trainer"], partition_id=0,
+                ))
             blobs.append(message.payload["blob"])
-            metrics.bytes_received[SERVER] = (
-                metrics.bytes_received.get(SERVER, 0.0)
-                + len(message.payload["blob"]) + MESSAGE_OVERHEAD
-            )
-        metrics.gradients_aggregated_at[SERVER] = self.sim.now
+            if bus.wants(BytesReceived):
+                bus.publish(BytesReceived(
+                    at=self.sim.now, iteration=iteration,
+                    participant=SERVER,
+                    amount=len(message.payload["blob"]) + MESSAGE_OVERHEAD,
+                ))
+        if bus.wants(GradientsAggregated):
+            bus.publish(GradientsAggregated(
+                at=self.sim.now, iteration=iteration, aggregator=SERVER,
+            ))
         aggregate = sum_encoded_partitions(blobs)
         sends = [
             endpoint.send(name, KIND_MODEL_DOWN,
@@ -119,25 +147,31 @@ class CentralizedSession:
             for name in self.trainer_names
         ]
         yield self.sim.all_of(sends)
-        metrics.update_registered_at[SERVER] = self.sim.now
+        if bus.wants(UpdateRegistered):
+            bus.publish(UpdateRegistered(
+                at=self.sim.now, iteration=iteration, aggregator=SERVER,
+                partition_id=0,
+            ))
 
-    def run_iteration(self) -> IterationMetrics:
+    def run_iteration(self) -> Optional[IterationMetrics]:
         """One centralized round; returns its metrics."""
         iteration = self._iteration
         self._iteration += 1
-        metrics = IterationMetrics(iteration=iteration,
-                                   started_at=self.sim.now)
+        bus = self.sim.bus
+        if bus.wants(IterationStarted):
+            bus.publish(IterationStarted(at=self.sim.now,
+                                         iteration=iteration))
 
         def driver():
             processes = [
                 self.sim.process(
-                    self._trainer_proc(name, iteration, metrics),
+                    self._trainer_proc(name, iteration),
                     name=f"{name}:i{iteration}",
                 )
                 for name in self.trainer_names
             ]
             processes.append(self.sim.process(
-                self._server_proc(iteration, metrics),
+                self._server_proc(iteration),
                 name=f"server:i{iteration}",
             ))
             yield self.sim.all_of(processes)
@@ -146,9 +180,13 @@ class CentralizedSession:
         self.sim.run_until(driver_proc)
         if not driver_proc.ok:
             raise driver_proc.value
-        metrics.finished_at = self.sim.now
-        self.metrics.iterations.append(metrics)
-        return metrics
+        if bus.wants(IterationFinished):
+            bus.publish(IterationFinished(at=self.sim.now,
+                                          iteration=iteration))
+        if self.metrics.iterations and \
+                self.metrics.iterations[-1].iteration == iteration:
+            return self.metrics.iterations[-1]
+        return None
 
     def run(self, rounds: int) -> SessionMetrics:
         for _ in range(rounds):

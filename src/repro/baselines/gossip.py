@@ -22,6 +22,13 @@ import numpy as np
 
 from ..ml import Dataset, Model, local_update
 from ..net import Network, Transport, mbps
+from ..obs import TelemetryCollector
+from ..obs.events import (
+    BytesReceived,
+    IterationFinished,
+    IterationStarted,
+    TrainerCompleted,
+)
 from ..sim import Simulator
 from ..core.config import ProtocolConfig
 from ..core.partition import decode_partition, encode_partition
@@ -67,7 +74,8 @@ class GossipFLSession:
             name: self._template.clone() for name in self.trainer_names
         }
         self.datasets = dict(zip(self.trainer_names, datasets))
-        self.metrics = SessionMetrics()
+        self.telemetry = TelemetryCollector(self.sim.bus)
+        self.metrics: SessionMetrics = self.telemetry.session
         self._iteration = 0
 
     def _neighbours(self, name: str) -> List[str]:
@@ -76,7 +84,8 @@ class GossipFLSession:
         return others[: self.fanout]
 
     def _trainer_proc(self, name: str, iteration: int,
-                      metrics: IterationMetrics, pushes_expected: Dict):
+                      pushes_expected: Dict):
+        bus = self.sim.bus
         endpoint = self.transport.endpoint(name)
         model = self.models[name]
         delta = local_update(
@@ -101,19 +110,25 @@ class GossipFLSession:
                 continue
             values, counter = decode_partition(message.payload["blob"])
             received.append(values / counter)
-            metrics.bytes_received[name] = (
-                metrics.bytes_received.get(name, 0.0)
-                + len(message.payload["blob"]) + MESSAGE_OVERHEAD
-            )
+            if bus.wants(BytesReceived):
+                bus.publish(BytesReceived(
+                    at=self.sim.now, iteration=iteration, participant=name,
+                    amount=len(message.payload["blob"]) + MESSAGE_OVERHEAD,
+                ))
         model.set_params(np.mean(received, axis=0))
-        metrics.trainers_completed.append(name)
+        if bus.wants(TrainerCompleted):
+            bus.publish(TrainerCompleted(
+                at=self.sim.now, iteration=iteration, trainer=name,
+            ))
 
-    def run_iteration(self) -> IterationMetrics:
+    def run_iteration(self) -> Optional[IterationMetrics]:
         """One gossip round; returns its metrics."""
         iteration = self._iteration
         self._iteration += 1
-        metrics = IterationMetrics(iteration=iteration,
-                                   started_at=self.sim.now)
+        bus = self.sim.bus
+        if bus.wants(IterationStarted):
+            bus.publish(IterationStarted(at=self.sim.now,
+                                         iteration=iteration))
 
         # Fix this round's gossip graph up front so receivers know how
         # many pushes to await (avoids modelling timeouts).
@@ -131,8 +146,7 @@ class GossipFLSession:
         def driver():
             processes = [
                 self.sim.process(
-                    self._trainer_proc(name, iteration, metrics,
-                                       pushes_expected),
+                    self._trainer_proc(name, iteration, pushes_expected),
                     name=f"{name}:i{iteration}",
                 )
                 for name in self.trainer_names
@@ -143,9 +157,13 @@ class GossipFLSession:
         self.sim.run_until(driver_proc)
         if not driver_proc.ok:
             raise driver_proc.value
-        metrics.finished_at = self.sim.now
-        self.metrics.iterations.append(metrics)
-        return metrics
+        if bus.wants(IterationFinished):
+            bus.publish(IterationFinished(at=self.sim.now,
+                                          iteration=iteration))
+        if self.metrics.iterations and \
+                self.metrics.iterations[-1].iteration == iteration:
+            return self.metrics.iterations[-1]
+        return None
 
     def run(self, rounds: int) -> SessionMetrics:
         for _ in range(rounds):

@@ -17,6 +17,18 @@ import numpy as np
 
 from ..ml import Dataset, Model, compute_gradient, local_update
 from ..net import Testbed, build_testbed
+from ..obs import TelemetryCollector
+from ..obs.events import (
+    BytesReceived,
+    GradientRegistered,
+    GradientsAggregated,
+    IterationFinished,
+    IterationStarted,
+    SyncPhaseEnded,
+    TrainerCompleted,
+    UpdateRegistered,
+    UploadCompleted,
+)
 from ..sim import Simulator
 from ..core.bootstrapper import Assignment, build_assignment
 from ..core.config import ProtocolConfig
@@ -82,13 +94,14 @@ class DirectIPLSSession:
             name: datasets[index]
             for index, name in enumerate(self.testbed.trainer_names)
         }
-        self.metrics = SessionMetrics()
+        self.telemetry = TelemetryCollector(self.sim.bus)
+        self.metrics: SessionMetrics = self.telemetry.session
         self._iteration = 0
 
     # -- participant processes -------------------------------------------------------
 
-    def _trainer_proc(self, name: str, iteration: int,
-                      metrics: IterationMetrics):
+    def _trainer_proc(self, name: str, iteration: int):
+        bus = self.sim.bus
         endpoint = self.testbed.transport.endpoint(name)
         model = self.models[name]
         if self.config.local_train_seconds > 0:
@@ -116,9 +129,11 @@ class DirectIPLSSession:
                 size=len(blob) + MESSAGE_OVERHEAD,
             ))
         yield self.sim.all_of(sends)
-        metrics.upload_delays[name] = (
-            (self.sim.now - send_started) / max(1, len(parts))
-        )
+        if bus.wants(UploadCompleted):
+            bus.publish(UploadCompleted(
+                at=self.sim.now, iteration=iteration, trainer=name,
+                delay=(self.sim.now - send_started) / max(1, len(parts)),
+            ))
 
         # Receive one updated partition per partition id.
         received: Dict[int, np.ndarray] = {}
@@ -138,34 +153,41 @@ class DirectIPLSSession:
             model.set_params(
                 model.get_params() - self.config.learning_rate * updated
             )
-        metrics.trainers_completed.append(name)
+        if bus.wants(TrainerCompleted):
+            bus.publish(TrainerCompleted(
+                at=self.sim.now, iteration=iteration, trainer=name,
+            ))
 
-    def _aggregator_proc(self, name: str, iteration: int,
-                         metrics: IterationMetrics):
+    def _aggregator_proc(self, name: str, iteration: int):
+        bus = self.sim.bus
         endpoint = self.testbed.transport.endpoint(name)
         partition_id = self.assignment.partition_of[name]
         my_trainers = set(
             self.assignment.trainers_of[(partition_id, name)]
         )
         peers = self.assignment.peers_of(name)
-        first_gradient_at = None
         blobs: Dict[str, bytes] = {}
         while len(blobs) < len(my_trainers):
             message = yield endpoint.receive(kind=KIND_GRADIENT)
             payload = message.payload
             if payload["iteration"] != iteration:
                 continue
-            if first_gradient_at is None:
-                first_gradient_at = self.sim.now
-                if (metrics.first_gradient_at is None
-                        or self.sim.now < metrics.first_gradient_at):
-                    metrics.first_gradient_at = self.sim.now
+            if bus.wants(GradientRegistered):
+                bus.publish(GradientRegistered(
+                    at=self.sim.now, iteration=iteration,
+                    uploader=payload["trainer"],
+                    partition_id=partition_id,
+                ))
             blobs[payload["trainer"]] = payload["blob"]
-            metrics.bytes_received[name] = (
-                metrics.bytes_received.get(name, 0.0)
-                + len(payload["blob"]) + MESSAGE_OVERHEAD
-            )
-        metrics.gradients_aggregated_at[name] = self.sim.now
+            if bus.wants(BytesReceived):
+                bus.publish(BytesReceived(
+                    at=self.sim.now, iteration=iteration, participant=name,
+                    amount=len(payload["blob"]) + MESSAGE_OVERHEAD,
+                ))
+        if bus.wants(GradientsAggregated):
+            bus.publish(GradientsAggregated(
+                at=self.sim.now, iteration=iteration, aggregator=name,
+            ))
         partial = sum_encoded_partitions(list(blobs.values()))
 
         contributions = {name: partial}
@@ -186,11 +208,17 @@ class DirectIPLSSession:
                     continue
                 contributions[payload["aggregator"]] = payload["blob"]
                 pending.discard(payload["aggregator"])
-                metrics.bytes_received[name] = (
-                    metrics.bytes_received.get(name, 0.0)
-                    + len(payload["blob"]) + MESSAGE_OVERHEAD
-                )
-            metrics.sync_delays[name] = self.sim.now - sync_start
+                if bus.wants(BytesReceived):
+                    bus.publish(BytesReceived(
+                        at=self.sim.now, iteration=iteration,
+                        participant=name,
+                        amount=len(payload["blob"]) + MESSAGE_OVERHEAD,
+                    ))
+            if bus.wants(SyncPhaseEnded):
+                bus.publish(SyncPhaseEnded(
+                    at=self.sim.now, iteration=iteration, aggregator=name,
+                    duration=self.sim.now - sync_start,
+                ))
 
         global_blob = sum_encoded_partitions(list(contributions.values()))
         # The first aggregator of the partition broadcasts to all trainers.
@@ -205,27 +233,33 @@ class DirectIPLSSession:
                 for trainer in self.testbed.trainer_names
             ]
             yield self.sim.all_of(sends)
-            metrics.update_registered_at[name] = self.sim.now
+            if bus.wants(UpdateRegistered):
+                bus.publish(UpdateRegistered(
+                    at=self.sim.now, iteration=iteration, aggregator=name,
+                    partition_id=partition_id,
+                ))
 
     # -- driving rounds -----------------------------------------------------------------
 
-    def run_iteration(self) -> IterationMetrics:
+    def run_iteration(self) -> Optional[IterationMetrics]:
         """One direct-IPLS round; returns its metrics."""
         iteration = self._iteration
         self._iteration += 1
-        metrics = IterationMetrics(iteration=iteration,
-                                   started_at=self.sim.now)
+        bus = self.sim.bus
+        if bus.wants(IterationStarted):
+            bus.publish(IterationStarted(at=self.sim.now,
+                                         iteration=iteration))
 
         def driver():
             processes = [
                 self.sim.process(
-                    self._trainer_proc(name, iteration, metrics),
+                    self._trainer_proc(name, iteration),
                     name=f"{name}:i{iteration}",
                 )
                 for name in self.testbed.trainer_names
             ] + [
                 self.sim.process(
-                    self._aggregator_proc(name, iteration, metrics),
+                    self._aggregator_proc(name, iteration),
                     name=f"{name}:i{iteration}",
                 )
                 for name in self.testbed.aggregator_names
@@ -236,9 +270,13 @@ class DirectIPLSSession:
         self.sim.run_until(driver_proc)
         if not driver_proc.ok:
             raise driver_proc.value
-        metrics.finished_at = self.sim.now
-        self.metrics.iterations.append(metrics)
-        return metrics
+        if bus.wants(IterationFinished):
+            bus.publish(IterationFinished(at=self.sim.now,
+                                          iteration=iteration))
+        if self.metrics.iterations and \
+                self.metrics.iterations[-1].iteration == iteration:
+            return self.metrics.iterations[-1]
+        return None
 
     def run(self, rounds: int) -> SessionMetrics:
         for _ in range(rounds):

@@ -15,6 +15,10 @@ Subcommands
     The Fig. 1 experiment: merge-and-download delays vs provider count.
 ``commit-cost``
     The Fig. 3 experiment: SHA-256 vs Pedersen commitment cost by size.
+``trace``
+    Run a session with the event-bus trace exporter attached and write
+    every event as one JSON line (see docs/OBSERVABILITY.md), plus a
+    counter summary to stderr.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ import numpy as np
 from .analysis import format_table, optimal_providers
 from .core import FLSession, ProtocolConfig
 from .crypto import sha256
+from .obs import CountersRegistry, JsonlTraceExporter
 from .core.verification import PartitionCommitter
 from .ml import (
     Dataset,
@@ -91,6 +96,24 @@ def build_parser() -> argparse.ArgumentParser:
                       default=[1000, 4000])
     cost.add_argument("--curves", nargs="+",
                       default=["secp256k1", "secp256r1"])
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run a session and export its event timeline as JSONL",
+    )
+    trace.add_argument("--output", default="-",
+                       help="destination file ('-' = stdout)")
+    trace.add_argument("--trainers", type=int, default=4)
+    trace.add_argument("--rounds", type=int, default=1)
+    trace.add_argument("--partitions", type=int, default=2)
+    trace.add_argument("--aggregators-per-partition", type=int, default=1)
+    trace.add_argument("--ipfs-nodes", type=int, default=4)
+    trace.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    trace.add_argument("--params", type=int, default=20_000,
+                       help="synthetic model size (flat parameter count)")
+    trace.add_argument("--merge-and-download", action="store_true")
+    trace.add_argument("--verifiable", action="store_true")
+    trace.add_argument("--seed", type=int, default=0)
 
     reproduce = subparsers.add_parser(
         "reproduce",
@@ -237,6 +260,45 @@ def _run_commit_cost(args) -> int:
     return 0
 
 
+# -- trace -----------------------------------------------------------------------
+
+
+def _run_trace(args) -> int:
+    config = ProtocolConfig(
+        num_partitions=args.partitions,
+        aggregators_per_partition=args.aggregators_per_partition,
+        t_train=600.0,
+        t_sync=1200.0,
+        update_mode="gradient",
+        poll_interval=0.25,
+        verifiable=args.verifiable,
+        merge_and_download=args.merge_and_download,
+        seed=args.seed,
+    )
+    shards = [
+        Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
+        for index in range(args.trainers)
+    ]
+    session = FLSession(
+        config,
+        model_factory=lambda: SyntheticModel(args.params),
+        datasets=shards,
+        num_ipfs_nodes=args.ipfs_nodes,
+        bandwidth_mbps=args.bandwidth_mbps,
+    )
+    counters = CountersRegistry(session.sim.bus)
+    destination = sys.stdout if args.output == "-" else args.output
+    with JsonlTraceExporter(session.sim.bus, destination) as exporter:
+        session.run(rounds=args.rounds)
+        events_written = exporter.events_written
+    print(f"{events_written} events"
+          + ("" if args.output == "-" else f" -> {args.output}"),
+          file=sys.stderr)
+    for name, value in counters.snapshot().items():
+        print(f"{name:44s} {value:g}", file=sys.stderr)
+    return 0
+
+
 def _run_reproduce(args) -> int:
     import pytest as pytest_module
     targets = {
@@ -274,6 +336,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_providers_sweep(args)
     if args.command == "commit-cost":
         return _run_commit_cost(args)
+    if args.command == "trace":
+        return _run_trace(args)
     if args.command == "reproduce":
         return _run_reproduce(args)
     raise AssertionError(f"unhandled command {args.command!r}")

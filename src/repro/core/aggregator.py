@@ -27,6 +27,16 @@ import numpy as np
 from ..crypto import Commitment
 from ..ipfs import DHT, IPFSClient, IPFSError, PubSub
 from ..net import Transport
+from ..obs.events import (
+    BytesReceived,
+    GradientsAggregated,
+    PartialUpdateRegistered,
+    SyncPhaseEnded,
+    SyncPhaseStarted,
+    TakeoverPerformed,
+    UpdateRegistered,
+    VerificationFailed,
+)
 from ..sim import Simulator
 from .addressing import Address, GRADIENT, PARTIAL_UPDATE, UPDATE
 from .adversary import AggregatorBehavior, HonestBehavior
@@ -36,7 +46,6 @@ from .directory import DirectoryClient
 from .partition import decode_partition, encode_partition, \
     sum_encoded_partitions
 from .schedule import IterationSchedule
-from .telemetry import IterationMetrics
 from .verification import CommitmentCostModel, PartitionCommitter
 
 __all__ = ["Aggregator", "sync_topic"]
@@ -236,8 +245,7 @@ class Aggregator:
             yield self.sim.timeout(delay)
         return self.committer.verify_blob(blob, expected)
 
-    def _takeover(self, peer: str, schedule: IterationSchedule,
-                  metrics: IterationMetrics):
+    def _takeover(self, peer: str, schedule: IterationSchedule):
         """Download a silent peer's trainers' gradients on its behalf."""
         results = yield from self.directory.lookup(
             self.partition_id, schedule.iteration, GRADIENT,
@@ -252,14 +260,23 @@ class Aggregator:
             blobs.append(blob)
         if not blobs:
             return None
-        metrics.takeovers.append(peer)
+        bus = self.sim.bus
+        if bus.wants(TakeoverPerformed):
+            bus.publish(TakeoverPerformed(
+                at=self.sim.now, iteration=schedule.iteration,
+                aggregator=self.name, peer=peer,
+            ))
         return sum_encoded_partitions(blobs)
 
     # -- the per-iteration process --------------------------------------------------------
 
-    def run_iteration(self, schedule: IterationSchedule,
-                      metrics: IterationMetrics):
-        """Process generator executing one round for this aggregator."""
+    def run_iteration(self, schedule: IterationSchedule):
+        """Process generator executing one round for this aggregator.
+
+        Reports outcomes (aggregation/sync timing, bytes moved,
+        takeovers, rejections) as :mod:`repro.obs` events on ``sim.bus``.
+        """
+        bus = self.sim.bus
         peers = self.assignment.peers_of(self.name)
         subscription = None
         if peers:
@@ -269,7 +286,11 @@ class Aggregator:
         bytes_start = self.ipfs.bytes_downloaded
 
         blobs, _rows = yield from self._collect_gradients(schedule)
-        metrics.gradients_aggregated_at[self.name] = self.sim.now
+        if bus.wants(GradientsAggregated):
+            bus.publish(GradientsAggregated(
+                at=self.sim.now, iteration=schedule.iteration,
+                aggregator=self.name,
+            ))
 
         blobs = self.behavior.select_gradients(blobs)
         if blobs:
@@ -288,7 +309,7 @@ class Aggregator:
         try:
             if peers:
                 yield from self._sync_phase(
-                    schedule, metrics, partial_blob, peers, subscription,
+                    schedule, partial_blob, peers, subscription,
                     contributions,
                 )
             if not contributions:
@@ -318,18 +339,30 @@ class Aggregator:
                         iteration=schedule.iteration, kind=UPDATE),
                 cid,
             )
-            if ack.get("accepted"):
-                metrics.update_registered_at[self.name] = self.sim.now
+            if ack.get("accepted") and bus.wants(UpdateRegistered):
+                bus.publish(UpdateRegistered(
+                    at=self.sim.now, iteration=schedule.iteration,
+                    aggregator=self.name, partition_id=self.partition_id,
+                ))
         finally:
             if subscription is not None:
                 subscription.cancel()
-            metrics.bytes_received[self.name] = (
-                self.ipfs.bytes_downloaded - bytes_start
-            )
+            if bus.wants(BytesReceived):
+                bus.publish(BytesReceived(
+                    at=self.sim.now, iteration=schedule.iteration,
+                    participant=self.name,
+                    amount=self.ipfs.bytes_downloaded - bytes_start,
+                ))
 
-    def _sync_phase(self, schedule, metrics, partial_blob, peers,
+    def _sync_phase(self, schedule, partial_blob, peers,
                     subscription, contributions):
+        bus = self.sim.bus
         sync_start = self.sim.now
+        if bus.wants(SyncPhaseStarted):
+            bus.publish(SyncPhaseStarted(
+                at=sync_start, iteration=schedule.iteration,
+                aggregator=self.name,
+            ))
         if partial_blob is not None:
             announced = self.behavior.tamper_update(partial_blob)
             cid = yield from self._put_with_fallback(announced)
@@ -341,6 +374,12 @@ class Aggregator:
                             kind=PARTIAL_UPDATE),
                     cid,
                 )
+                if bus.wants(PartialUpdateRegistered):
+                    bus.publish(PartialUpdateRegistered(
+                        at=self.sim.now, iteration=schedule.iteration,
+                        aggregator=self.name,
+                        partition_id=self.partition_id,
+                    ))
                 self.pubsub.publish(
                     sync_topic(self.partition_id, schedule.iteration),
                     self.name,
@@ -375,16 +414,22 @@ class Aggregator:
                 if valid:
                     pending.discard(peer)
                     contributions[peer] = blob
-                else:
-                    metrics.verification_failures.append(
-                        f"partial_update/p{self.partition_id}"
-                        f"/i{schedule.iteration}/{peer}"
-                    )
+                elif bus.wants(VerificationFailed):
+                    bus.publish(VerificationFailed(
+                        at=self.sim.now, iteration=schedule.iteration,
+                        label=(f"partial_update/p{self.partition_id}"
+                               f"/i{schedule.iteration}/{peer}"),
+                        scope="partial_update",
+                    ))
             elif self.sim.now >= takeover_at:
                 # Grace expired: cover the silent peers' trainer sets.
                 for peer in sorted(pending):
-                    blob = yield from self._takeover(peer, schedule, metrics)
+                    blob = yield from self._takeover(peer, schedule)
                     if blob is not None:
                         contributions[peer] = blob
                     pending.discard(peer)
-        metrics.sync_delays[self.name] = self.sim.now - sync_start
+        if bus.wants(SyncPhaseEnded):
+            bus.publish(SyncPhaseEnded(
+                at=self.sim.now, iteration=schedule.iteration,
+                aggregator=self.name, duration=self.sim.now - sync_start,
+            ))

@@ -19,6 +19,11 @@ from typing import Dict, List, Optional, Tuple
 from ..crypto import Commitment
 from ..ipfs import CID, DHT, IPFSClient
 from ..net import Message, Transport
+from ..obs.events import (
+    DirectoryRequest,
+    GradientRegistered,
+    VerificationFailed,
+)
 from ..sim import Simulator
 from .addressing import Address, GRADIENT, PARTIAL_UPDATE, UPDATE
 from .verification import PartitionCommitter
@@ -187,6 +192,11 @@ class DirectoryService:
             message = yield self.endpoint.inbox.get(
                 lambda m: m.kind in served_kinds
             )
+            bus = self.sim.bus
+            if bus.wants(DirectoryRequest):
+                bus.publish(DirectoryRequest(
+                    at=self.sim.now, kind=message.kind,
+                ))
             if self.processing_delay > 0:
                 # Serialized server work: requests queue behind it.
                 yield self.sim.timeout(self.processing_delay)
@@ -294,6 +304,13 @@ class DirectoryService:
             registered_at=self.sim.now,
         )
         self.first_gradient_time.setdefault(address.iteration, self.sim.now)
+        bus = self.sim.bus
+        if bus.wants(GradientRegistered):
+            bus.publish(GradientRegistered(
+                at=self.sim.now, iteration=address.iteration,
+                uploader=address.uploader_id,
+                partition_id=address.partition_id,
+            ))
         if commitment is None:
             return True
         key = (address.partition_id, address.iteration)
@@ -322,6 +339,19 @@ class DirectoryService:
             )
         return True
 
+    def _reject(self, entry: DirectoryEntry, reason: str) -> None:
+        entry.verified = False
+        self.rejections.append(RejectionRecord(
+            address=entry.address, reason=reason,
+            rejected_at=self.sim.now,
+        ))
+        bus = self.sim.bus
+        if bus.wants(VerificationFailed):
+            bus.publish(VerificationFailed(
+                at=self.sim.now, iteration=entry.address.iteration,
+                label=str(entry.address), scope="update",
+            ))
+
     def _verify_update(self, entry: DirectoryEntry):
         """Download the claimed update and check the commitment product."""
         address = entry.address
@@ -329,33 +359,20 @@ class DirectoryService:
             address.partition_id, address.iteration
         )
         if expected is None or count == 0:
-            entry.verified = False
-            self.rejections.append(RejectionRecord(
-                address=address,
-                reason="no gradient commitments accumulated",
-                rejected_at=self.sim.now,
-            ))
+            self._reject(entry, "no gradient commitments accumulated")
             return
         try:
             blob = yield from self._ipfs.get(entry.cid)
         except Exception as exc:  # unavailable/corrupt update
-            entry.verified = False
-            self.rejections.append(RejectionRecord(
-                address=address,
-                reason=f"update retrieval failed: {exc}",
-                rejected_at=self.sim.now,
-            ))
+            self._reject(entry, f"update retrieval failed: {exc}")
             return
         committer = self.committers[address.partition_id]
         if committer.verify_blob(blob, expected):
             entry.verified = True
         else:
-            entry.verified = False
-            self.rejections.append(RejectionRecord(
-                address=address,
-                reason="commitment mismatch (dropped or altered gradients)",
-                rejected_at=self.sim.now,
-            ))
+            self._reject(
+                entry, "commitment mismatch (dropped or altered gradients)"
+            )
 
     def _visible(self, entry: DirectoryEntry) -> bool:
         """Updates must be verified (in verifiable mode) to be served."""

@@ -15,6 +15,8 @@ import numpy as np
 from ..ipfs import DHT, IPFSNode, KademliaDHT, PubSub, ReplicationCluster
 from ..ml import Dataset, Model
 from ..net import Testbed, build_testbed
+from ..obs import TelemetryCollector
+from ..obs.events import IterationFinished, IterationStarted
 from ..sim import Simulator
 from .adversary import AggregatorBehavior
 from .aggregator import Aggregator
@@ -183,20 +185,31 @@ class FLSession:
                 behavior=behaviors.get(name),
             ))
 
-        self.metrics = SessionMetrics()
+        #: Telemetry is an ordinary bus subscriber: the protocol publishes
+        #: events and this collector folds them into the paper's metrics.
+        #: Close it (``session.telemetry.close()``) for an unobserved run.
+        self.telemetry = TelemetryCollector(self.sim.bus)
+        self.metrics: SessionMetrics = self.telemetry.session
         self._iteration = 0
 
     # -- driving rounds ---------------------------------------------------------
 
-    def run_iteration(self) -> IterationMetrics:
-        """Execute one full training round; returns its metrics."""
+    def run_iteration(self) -> Optional[IterationMetrics]:
+        """Execute one full training round.
+
+        Returns the round's metrics, assembled by :attr:`telemetry` from
+        the events the participants published — or None when telemetry
+        has been closed (an unobserved run).
+        """
         iteration = self._iteration
         self._iteration += 1
         schedule = IterationSchedule.from_durations(
             iteration, self.sim.now, self.config.t_train, self.config.t_sync
         )
-        metrics = IterationMetrics(iteration=iteration,
-                                   started_at=self.sim.now)
+        bus = self.sim.bus
+        if bus.wants(IterationStarted):
+            bus.publish(IterationStarted(at=self.sim.now,
+                                         iteration=iteration))
         # Arm the directory's gradient-registration cutoff so late
         # registrations can never enter the accumulated commitments.
         self.directory.begin_iteration(iteration, schedule.t_train)
@@ -209,13 +222,13 @@ class FLSession:
             yield self.bootstrapper.announce(schedule, participants)
             processes = [
                 self.sim.process(
-                    trainer.run_iteration(schedule, metrics),
+                    trainer.run_iteration(schedule),
                     name=f"{trainer.name}:i{iteration}",
                 )
                 for trainer in self.trainers
             ] + [
                 self.sim.process(
-                    aggregator.run_iteration(schedule, metrics),
+                    aggregator.run_iteration(schedule),
                     name=f"{aggregator.name}:i{iteration}",
                 )
                 for aggregator in self.aggregators
@@ -226,15 +239,13 @@ class FLSession:
         self.sim.run_until(driver_proc)
         if not driver_proc.ok:
             raise driver_proc.value
-        metrics.finished_at = self.sim.now
-        metrics.first_gradient_at = self.directory.first_gradient_time.get(
-            iteration
-        )
-        for rejection in self.directory.rejections:
-            if rejection.address.iteration == iteration:
-                metrics.verification_failures.append(str(rejection.address))
-        self.metrics.iterations.append(metrics)
-        return metrics
+        if bus.wants(IterationFinished):
+            bus.publish(IterationFinished(at=self.sim.now,
+                                          iteration=iteration))
+        if self.metrics.iterations and \
+                self.metrics.iterations[-1].iteration == iteration:
+            return self.metrics.iterations[-1]
+        return None
 
     def run(self, rounds: int) -> SessionMetrics:
         """Run ``rounds`` iterations back to back."""

@@ -9,12 +9,16 @@ The paper measures (Sec. V):
 - *data received per aggregator per iteration*,
 - commitment computation/verification time.
 
-Each protocol participant reports into the iteration's
-:class:`IterationMetrics`; the session aggregates them.
+Protocol participants publish :mod:`repro.obs` events; the session's
+:class:`~repro.obs.telemetry.TelemetryCollector` folds the event stream
+into these dataclasses, which remain the stable analysis-facing API.
+Archived runs round-trip through :meth:`SessionMetrics.to_json` /
+:meth:`SessionMetrics.from_json`.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -138,6 +142,33 @@ class IterationMetrics:
             "mean_bytes_received": self.mean_bytes_received,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "IterationMetrics":
+        """Rebuild from a :meth:`to_dict` snapshot.
+
+        Derived values present in the snapshot are ignored — they are
+        recomputed from the raw fields, so a loaded run answers every
+        property exactly as the live one did.
+        """
+        return cls(
+            iteration=data["iteration"],
+            started_at=data.get("started_at", 0.0),
+            finished_at=data.get("finished_at", 0.0),
+            upload_delays=dict(data.get("upload_delays", {})),
+            first_gradient_at=data.get("first_gradient_at"),
+            gradients_aggregated_at=dict(
+                data.get("gradients_aggregated_at", {})),
+            update_registered_at=dict(
+                data.get("update_registered_at", {})),
+            bytes_received=dict(data.get("bytes_received", {})),
+            sync_delays=dict(data.get("sync_delays", {})),
+            commit_seconds=dict(data.get("commit_seconds", {})),
+            verification_failures=list(
+                data.get("verification_failures", [])),
+            trainers_completed=list(data.get("trainers_completed", [])),
+            takeovers=list(data.get("takeovers", [])),
+        )
+
 
 @dataclass
 class SessionMetrics:
@@ -168,5 +199,17 @@ class SessionMetrics:
 
     def to_json(self, indent: int = 2) -> str:
         """Serialize the run's telemetry for archival/plotting."""
-        import json
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SessionMetrics":
+        """Rebuild a run from a :meth:`to_dict` snapshot."""
+        return cls(iterations=[
+            IterationMetrics.from_dict(entry)
+            for entry in data.get("iterations", [])
+        ])
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionMetrics":
+        """Load an archived run; inverse of :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))

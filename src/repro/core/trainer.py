@@ -24,6 +24,12 @@ import numpy as np
 from ..ipfs import DHT, IPFSClient, IPFSError
 from ..ml import Dataset, Model, compute_gradient, local_update
 from ..net import Transport
+from ..obs.events import (
+    CommitmentComputed,
+    TrainerCompleted,
+    UploadCompleted,
+    VerificationFailed,
+)
 from ..sim import Simulator
 from .addressing import Address, GRADIENT, UPDATE
 from .bootstrapper import Assignment
@@ -31,7 +37,6 @@ from .config import ProtocolConfig
 from .directory import DirectoryClient
 from .partition import ModelPartitioner, decode_partition, encode_partition
 from .schedule import IterationSchedule
-from .telemetry import IterationMetrics
 from .verification import CommitmentCostModel, PartitionCommitter
 
 __all__ = ["Trainer"]
@@ -121,9 +126,13 @@ class Trainer:
 
     # -- the per-iteration process ------------------------------------------------------
 
-    def run_iteration(self, schedule: IterationSchedule,
-                      metrics: IterationMetrics):
-        """Process generator executing one round for this trainer."""
+    def run_iteration(self, schedule: IterationSchedule):
+        """Process generator executing one round for this trainer.
+
+        Reports outcomes (commitment cost, upload delay, completion,
+        rejected updates) as :mod:`repro.obs` events on ``sim.bus``.
+        """
+        bus = self.sim.bus
         if self.config.trainer_jitter > 0:
             # Deterministic per-(trainer, round) arrival offset.
             rng = np.random.default_rng(
@@ -149,10 +158,12 @@ class Trainer:
             if self.config.verifiable and committer is not None:
                 wall_start = wallclock.perf_counter()
                 blob, commitment = committer.encode_and_commit(values)
-                metrics.commit_seconds[self.name] = (
-                    metrics.commit_seconds.get(self.name, 0.0)
-                    + wallclock.perf_counter() - wall_start
-                )
+                if bus.wants(CommitmentComputed):
+                    bus.publish(CommitmentComputed(
+                        at=self.sim.now, iteration=schedule.iteration,
+                        participant=self.name,
+                        seconds=wallclock.perf_counter() - wall_start,
+                    ))
                 delay = self.cost_model.commit_delay(len(values) + 1)
                 if delay > 0:
                     yield self.sim.timeout(delay)
@@ -220,10 +231,12 @@ class Trainer:
                 return  # cutoff or bad accumulation: round missed
         if self.sim.now > schedule.t_train:
             return  # missed the upload deadline
-        if upload_delays:
-            metrics.upload_delays[self.name] = (
-                sum(upload_delays) / len(upload_delays)
-            )
+        if upload_delays and bus.wants(UploadCompleted):
+            bus.publish(UploadCompleted(
+                at=self.sim.now, iteration=schedule.iteration,
+                trainer=self.name,
+                delay=sum(upload_delays) / len(upload_delays),
+            ))
 
         # -- retrieve the updated partitions ------------------------------------
         updated_parts = []
@@ -253,10 +266,13 @@ class Trainer:
             )
             if not verified:
                 self.rejected_updates += 1
-                metrics.verification_failures.append(
-                    f"trainer-rejected/p{partition_id}"
-                    f"/i{schedule.iteration}/{self.name}"
-                )
+                if bus.wants(VerificationFailed):
+                    bus.publish(VerificationFailed(
+                        at=self.sim.now, iteration=schedule.iteration,
+                        label=(f"trainer-rejected/p{partition_id}"
+                               f"/i{schedule.iteration}/{self.name}"),
+                        scope="trainer",
+                    ))
                 return
             values, counter = decode_partition(blob)
             if counter <= 0:
@@ -265,4 +281,8 @@ class Trainer:
 
         self._install_update(self.partitioner.join(updated_parts))
         self.completed_iterations += 1
-        metrics.trainers_completed.append(self.name)
+        if bus.wants(TrainerCompleted):
+            bus.publish(TrainerCompleted(
+                at=self.sim.now, iteration=schedule.iteration,
+                trainer=self.name,
+            ))

@@ -15,6 +15,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from ..obs.events import DhtLookup
 from ..sim import Simulator
 from .cid import CID
 
@@ -105,4 +106,10 @@ class DHT:
         self._rng.shuffle(names)
         if limit is not None:
             names = names[:limit]
+        bus = self.sim.bus
+        if bus.wants(DhtLookup):
+            bus.publish(DhtLookup(
+                at=self.sim.now, querier=querier, cid=cid,
+                providers=len(names), hops=0,
+            ))
         return names

@@ -20,6 +20,7 @@ import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..net import Network
+from ..obs.events import DhtLookup
 from ..sim import Simulator
 from .cid import CID
 from .dht import DHT
@@ -239,4 +240,10 @@ class KademliaDHT(DHT):
         self._rng.shuffle(names)
         if limit is not None:
             names = names[:limit]
+        bus = self.sim.bus
+        if bus.wants(DhtLookup):
+            bus.publish(DhtLookup(
+                at=self.sim.now, querier=querier, cid=cid,
+                providers=len(names), hops=len(path),
+            ))
         return names

@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from ..net import Endpoint, Message, Transport
+from ..obs.events import BlockFetched, BlockStored
 from ..sim import Simulator
 from .block import Block, DEFAULT_CHUNK_SIZE, chunk_object, parse_manifest, reassemble
 from .blockstore import Blockstore
@@ -82,6 +83,12 @@ class IPFSNode:
             self.store.put(leaf, pin=pin)
         self.store.put(root, pin=pin)
         self.dht.provide(root.cid, self.name)
+        bus = self.sim.bus
+        if bus.wants(BlockStored):
+            bus.publish(BlockStored(
+                at=self.sim.now, node=self.name, cid=root.cid,
+                size=len(data),
+            ))
         return root.cid
 
     def load_object(self, root_cid: CID) -> Optional[bytes]:
@@ -335,6 +342,12 @@ class IPFSClient:
                 )
                 continue
             self.bytes_downloaded += len(data) + REQUEST_OVERHEAD
+            bus = self.sim.bus
+            if bus.wants(BlockFetched):
+                bus.publish(BlockFetched(
+                    at=self.sim.now, client=self.name, node=node, cid=cid,
+                    size=len(data) + REQUEST_OVERHEAD,
+                ))
             return data
         raise last_error or NotFoundError(f"could not retrieve {cid!r}")
 
@@ -365,6 +378,12 @@ class IPFSClient:
         if compute_cid(data) != cid:
             return None
         self.bytes_downloaded += len(data) + REQUEST_OVERHEAD
+        bus = self.sim.bus
+        if bus.wants(BlockFetched):
+            bus.publish(BlockFetched(
+                at=self.sim.now, client=self.name, node=node, cid=cid,
+                size=len(data) + REQUEST_OVERHEAD,
+            ))
         return data
 
     def get_striped(self, cid: CID, prefer_nodes: Sequence[str] = (),
@@ -448,6 +467,14 @@ class IPFSClient:
             raise MergeError(f"merge on {node!r} failed: {payload['error']}")
         merged: bytes = payload["data"]
         self.bytes_downloaded += len(merged) + REQUEST_OVERHEAD
+        bus = self.sim.bus
+        if bus.wants(BlockFetched):
+            # A merged download has no single source CID; record the fetch
+            # itself (the commitment check authenticates the bytes).
+            bus.publish(BlockFetched(
+                at=self.sim.now, client=self.name, node=node, cid=None,
+                size=len(merged) + REQUEST_OVERHEAD,
+            ))
         return merged, payload["count"]
 
     def unpin(self, cid: CID, node: str):

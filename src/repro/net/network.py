@@ -15,6 +15,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Iterable, Optional
 
+from ..obs.events import TransferCompleted, TransferStarted
 from ..sim import Event, Simulator
 from .bandwidth import FlowScheduler, Link
 
@@ -119,6 +120,21 @@ class Network:
         source.bytes_sent += size
         destination.bytes_received += size
         done = self.sim.event()
+        bus = self.sim.bus
+        if bus.wants(TransferStarted):
+            bus.publish(TransferStarted(
+                at=self.sim.now, src=src, dst=dst, size=size,
+            ))
+        if bus.wants(TransferCompleted):
+            started = self.sim.now
+
+            def flow_event(_event):
+                bus.publish(TransferCompleted(
+                    at=self.sim.now, src=src, dst=dst, size=size,
+                    started_at=started,
+                ))
+
+            done._add_callback(flow_event)
         if src == dst:
             done.succeed(size)
             return done

@@ -5,6 +5,17 @@ and every transfer is recorded with its start/finish times, endpoints and
 byte count — the raw material for timeline analysis of protocol runs
 (who congested which link when), analogous to reading a pcap of the
 paper's mininet experiments.
+
+.. deprecated:: the monkey-patching implementation
+    :class:`TransferTrace` is now a thin subscriber over the network's
+    event bus (``network.sim.bus``) listening for
+    :class:`~repro.obs.events.TransferCompleted`.  The old version
+    wrapped ``network.transfer`` in place, which meant two concurrent
+    traces detached in creation order would restore a stale method and
+    silently keep recording.  Subscriptions compose: any number of
+    traces may attach and detach in any order.  New code can subscribe
+    to :mod:`repro.obs` events directly; this class remains for its
+    analysis helpers.
 """
 
 from __future__ import annotations
@@ -12,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs.events import TransferCompleted
 from .network import Network
 
 __all__ = ["TransferRecord", "TransferTrace"]
@@ -40,31 +52,26 @@ class TransferRecord:
 
 
 class TransferTrace:
-    """Records every transfer made through a wrapped network."""
+    """Records every transfer made through the observed network."""
 
     def __init__(self, network: Network):
         self.network = network
         self.records: List[TransferRecord] = []
-        self._original_transfer = network.transfer
-        network.transfer = self._traced_transfer  # type: ignore[assignment]
+        self._subscription = network.sim.bus.subscribe(
+            self._on_completed, TransferCompleted
+        )
 
     def detach(self) -> None:
-        """Stop tracing; the network's transfer method is restored."""
-        self.network.transfer = self._original_transfer  # type: ignore
+        """Stop tracing.  Safe to call more than once; traces attached to
+        the same network are independent and may detach in any order."""
+        self._subscription.cancel()
 
-    def _traced_transfer(self, src: str, dst: str, size: float):
-        started = self.network.sim.now
-        done = self._original_transfer(src, dst, size)
-
-        def record(_event):
-            self.records.append(TransferRecord(
-                src=src, dst=dst, size=size,
-                started_at=started,
-                finished_at=self.network.sim.now,
-            ))
-
-        done._add_callback(record)
-        return done
+    def _on_completed(self, event: TransferCompleted) -> None:
+        self.records.append(TransferRecord(
+            src=event.src, dst=event.dst, size=event.size,
+            started_at=event.started_at,
+            finished_at=event.at,
+        ))
 
     # -- analysis helpers ---------------------------------------------------------
 

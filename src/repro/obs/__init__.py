@@ -1,0 +1,81 @@
+"""Observability: the typed event bus every layer reports into.
+
+This package is the repo's instrumentation spine.  Producers — the
+network emulator, the simulated IPFS, the directory service, trainers
+and aggregators — publish small typed events
+(:mod:`repro.obs.events`) to a per-simulation :class:`EventBus`
+(``sim.bus``); consumers subscribe:
+
+- :class:`TelemetryCollector` — rebuilds the paper's per-iteration
+  metrics (:class:`~repro.core.telemetry.IterationMetrics`) from the
+  event stream; every session owns one.
+- :class:`CountersRegistry` — named counters/gauges (directory load,
+  DHT hops, bytes by layer).
+- :class:`JsonlTraceExporter` — streams every event to a JSON-lines
+  timeline file (``python -m repro.cli trace``).
+- :class:`~repro.net.trace.TransferTrace` — flow records, now a thin
+  subscriber over ``TransferStarted``/``TransferCompleted``.
+
+The bus is zero-overhead when unsubscribed: emission sites guard event
+construction behind :meth:`EventBus.wants`, so unobserved runs pay one
+boolean check per site.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from .bus import EventBus, Subscription
+from .counters import CountersRegistry
+from .events import (
+    BlockFetched,
+    BlockStored,
+    BytesReceived,
+    CommitmentComputed,
+    DhtLookup,
+    DirectoryRequest,
+    Event,
+    GradientRegistered,
+    GradientsAggregated,
+    IterationFinished,
+    IterationStarted,
+    PROTOCOL_EVENTS,
+    PartialUpdateRegistered,
+    SyncPhaseEnded,
+    SyncPhaseStarted,
+    TakeoverPerformed,
+    TrainerCompleted,
+    TransferCompleted,
+    TransferStarted,
+    UpdateRegistered,
+    UploadCompleted,
+    VerificationFailed,
+)
+from .jsonl import JsonlTraceExporter
+from .telemetry import TelemetryCollector
+
+__all__ = [
+    "BlockFetched",
+    "BlockStored",
+    "BytesReceived",
+    "CommitmentComputed",
+    "CountersRegistry",
+    "DhtLookup",
+    "DirectoryRequest",
+    "Event",
+    "EventBus",
+    "GradientRegistered",
+    "GradientsAggregated",
+    "IterationFinished",
+    "IterationStarted",
+    "JsonlTraceExporter",
+    "PROTOCOL_EVENTS",
+    "PartialUpdateRegistered",
+    "Subscription",
+    "SyncPhaseEnded",
+    "SyncPhaseStarted",
+    "TakeoverPerformed",
+    "TelemetryCollector",
+    "TrainerCompleted",
+    "TransferCompleted",
+    "TransferStarted",
+    "UpdateRegistered",
+    "UploadCompleted",
+    "VerificationFailed",
+]

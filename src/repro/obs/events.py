@@ -1,0 +1,290 @@
+"""The event taxonomy: typed records of everything the system does.
+
+Every event is a small frozen dataclass carrying the simulated time it
+happened (``at``) plus the facts of the occurrence.  Producers construct
+events *only when someone is subscribed* (guarded by
+:meth:`~repro.obs.bus.EventBus.wants`), so an unobserved run pays a
+single boolean check per emission site.
+
+Two layers:
+
+- **infrastructure events** describe the substrate — network transfers,
+  IPFS block storage/retrieval, DHT lookups, directory requests.  They
+  carry no iteration number because the substrate does not know about
+  training rounds.
+- **protocol events** describe Algorithm 1 — registrations, phase
+  boundaries, verification outcomes.  They carry ``iteration`` so
+  subscribers can attribute them to a training round.
+
+See ``docs/OBSERVABILITY.md`` for the full schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = [
+    "Event",
+    # infrastructure
+    "TransferStarted",
+    "TransferCompleted",
+    "BlockStored",
+    "BlockFetched",
+    "DhtLookup",
+    "DirectoryRequest",
+    # protocol
+    "IterationStarted",
+    "IterationFinished",
+    "GradientRegistered",
+    "PartialUpdateRegistered",
+    "UpdateRegistered",
+    "GradientsAggregated",
+    "UploadCompleted",
+    "BytesReceived",
+    "SyncPhaseStarted",
+    "SyncPhaseEnded",
+    "CommitmentComputed",
+    "VerificationFailed",
+    "TrainerCompleted",
+    "TakeoverPerformed",
+    "PROTOCOL_EVENTS",
+]
+
+
+class Event:
+    """Marker base class for all observable events."""
+
+    __slots__ = ()
+
+
+# -- infrastructure events ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TransferStarted(Event):
+    """Bytes began moving between two hosts."""
+
+    at: float
+    src: str
+    dst: str
+    size: float
+
+
+@dataclass(frozen=True)
+class TransferCompleted(Event):
+    """The last byte of a transfer arrived."""
+
+    at: float
+    src: str
+    dst: str
+    size: float
+    started_at: float
+
+
+@dataclass(frozen=True)
+class BlockStored(Event):
+    """An IPFS node chunked and stored an object."""
+
+    at: float
+    node: str
+    cid: str
+    size: int
+
+
+@dataclass(frozen=True)
+class BlockFetched(Event):
+    """A client successfully retrieved (and verified) content."""
+
+    at: float
+    client: str
+    node: str
+    cid: str
+    size: int
+
+
+@dataclass(frozen=True)
+class DhtLookup(Event):
+    """One provider-record resolution.
+
+    ``hops`` is the number of routing-table hops charged (0 for the
+    flat table-model DHT, the greedy path length under Kademlia).
+    """
+
+    at: float
+    querier: Optional[str]
+    cid: str
+    providers: int
+    hops: int
+
+
+@dataclass(frozen=True)
+class DirectoryRequest(Event):
+    """The directory service dequeued one request for processing."""
+
+    at: float
+    kind: str
+
+
+# -- protocol events ---------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IterationStarted(Event):
+    """A training round began."""
+
+    at: float
+    iteration: int
+
+
+@dataclass(frozen=True)
+class IterationFinished(Event):
+    """All of a round's participant processes have ended."""
+
+    at: float
+    iteration: int
+
+
+@dataclass(frozen=True)
+class GradientRegistered(Event):
+    """A gradient record was accepted (before the cutoff)."""
+
+    at: float
+    iteration: int
+    uploader: str
+    partition_id: int
+
+
+@dataclass(frozen=True)
+class PartialUpdateRegistered(Event):
+    """An aggregator announced its partial update (|A_i| > 1 sync)."""
+
+    at: float
+    iteration: int
+    aggregator: str
+    partition_id: int
+
+
+@dataclass(frozen=True)
+class UpdateRegistered(Event):
+    """A globally updated partition's registration was acknowledged."""
+
+    at: float
+    iteration: int
+    aggregator: str
+    partition_id: int
+
+
+@dataclass(frozen=True)
+class GradientsAggregated(Event):
+    """An aggregator finished collecting its trainers' gradients."""
+
+    at: float
+    iteration: int
+    aggregator: str
+
+
+@dataclass(frozen=True)
+class UploadCompleted(Event):
+    """A trainer finished uploading all partitions before the deadline.
+
+    ``delay`` is the paper's upload delay: mean seconds from gradient
+    put to store acknowledgment over the trainer's partitions.
+    """
+
+    at: float
+    iteration: int
+    trainer: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class BytesReceived(Event):
+    """A participant's download volume for the round (additive)."""
+
+    at: float
+    iteration: int
+    participant: str
+    amount: float
+
+
+@dataclass(frozen=True)
+class SyncPhaseStarted(Event):
+    """An aggregator entered the partial-update exchange."""
+
+    at: float
+    iteration: int
+    aggregator: str
+
+
+@dataclass(frozen=True)
+class SyncPhaseEnded(Event):
+    """An aggregator left the partial-update exchange."""
+
+    at: float
+    iteration: int
+    aggregator: str
+    duration: float
+
+
+@dataclass(frozen=True)
+class CommitmentComputed(Event):
+    """Wall-clock seconds spent computing a Pedersen commitment
+    (additive per participant)."""
+
+    at: float
+    iteration: int
+    participant: str
+    seconds: float
+
+
+@dataclass(frozen=True)
+class VerificationFailed(Event):
+    """A commitment check failed somewhere in the protocol.
+
+    ``scope`` names the checkpoint: ``"update"`` (directory-side global
+    update check), ``"partial"`` (aggregator-side peer partial check) or
+    ``"trainer"`` (trainer-side delegated check).
+    """
+
+    at: float
+    iteration: int
+    label: str
+    scope: str
+
+
+@dataclass(frozen=True)
+class TrainerCompleted(Event):
+    """A trainer installed the round's global update."""
+
+    at: float
+    iteration: int
+    trainer: str
+
+
+@dataclass(frozen=True)
+class TakeoverPerformed(Event):
+    """An aggregator covered a silent peer's trainer set."""
+
+    at: float
+    iteration: int
+    aggregator: str
+    peer: str
+
+
+#: The iteration-scoped events :class:`~repro.obs.telemetry
+#: .TelemetryCollector` consumes to rebuild the paper's metrics.
+PROTOCOL_EVENTS = (
+    IterationStarted,
+    IterationFinished,
+    GradientRegistered,
+    UpdateRegistered,
+    GradientsAggregated,
+    UploadCompleted,
+    BytesReceived,
+    SyncPhaseEnded,
+    CommitmentComputed,
+    VerificationFailed,
+    TrainerCompleted,
+    TakeoverPerformed,
+)

@@ -1,0 +1,80 @@
+"""Stream the event stream to a JSON-lines file.
+
+One JSON object per line, one line per event::
+
+    {"event": "TransferCompleted", "at": 1.04, "src": "trainer-0", ...}
+
+Every record has ``event`` (the event class name) and ``at`` (simulated
+seconds); the remaining keys are the event dataclass's fields.  Values
+that are not JSON-native (e.g. CIDs) are stringified.  The format is
+line-appendable and tail-able — the raw material for timeline analysis,
+exposed on the command line as ``python -m repro.cli trace``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from typing import Dict, IO, Optional, Tuple, Union
+
+from .bus import EventBus
+
+__all__ = ["JsonlTraceExporter"]
+
+
+class JsonlTraceExporter:
+    """Subscribes to every event and appends each as one JSON line."""
+
+    def __init__(self, bus: EventBus,
+                 destination: Union[str, "os.PathLike[str]", IO[str]]):
+        """
+        Parameters
+        ----------
+        bus:
+            The bus to export.
+        destination:
+            A path (opened for writing, closed by :meth:`close`) or any
+            object with ``write(str)`` (left open; caller owns it).
+        """
+        if hasattr(destination, "write"):
+            self._stream: IO[str] = destination  # type: ignore[assignment]
+            self._owns_stream = False
+        else:
+            self._stream = open(os.fspath(destination), "w",
+                                encoding="utf-8")
+            self._owns_stream = True
+        self.events_written = 0
+        self._fields: Dict[type, Tuple[str, ...]] = {}
+        self._subscription = bus.subscribe(self._handle)
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unsubscribe and flush; closes the stream if we opened it."""
+        self._subscription.cancel()
+        if self._owns_stream:
+            if not self._stream.closed:
+                self._stream.close()
+        else:
+            self._stream.flush()
+
+    def __enter__(self) -> "JsonlTraceExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- event handling ----------------------------------------------------------
+
+    def _handle(self, event) -> None:
+        cls = type(event)
+        names = self._fields.get(cls)
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(event))
+            self._fields[cls] = names
+        record = {"event": cls.__name__}
+        for name in names:
+            record[name] = getattr(event, name)
+        self._stream.write(json.dumps(record, default=str) + "\n")
+        self.events_written += 1

@@ -1,0 +1,166 @@
+"""Telemetry rebuilt as a bus subscriber.
+
+:class:`TelemetryCollector` derives the exact quantities the paper's
+evaluation reports (upload/aggregation/synchronization delays, bytes
+per aggregator — Sec. V) from the protocol event stream, populating the
+same :class:`~repro.core.telemetry.IterationMetrics` /
+:class:`~repro.core.telemetry.SessionMetrics` dataclasses the repo has
+always exposed.  No protocol class mutates metrics any more; they only
+publish events.
+
+Routing: events carry an ``iteration``; the collector only applies them
+while that iteration is *open* (between ``IterationStarted`` and
+``IterationFinished``).  A stale event — e.g. a directory verification
+process that only gets scheduled during the next round — is dropped,
+matching the legacy behaviour where the session snapshotted directory
+state at round end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from .bus import EventBus, Subscription
+from .events import (
+    BytesReceived,
+    CommitmentComputed,
+    GradientRegistered,
+    GradientsAggregated,
+    IterationFinished,
+    IterationStarted,
+    PROTOCOL_EVENTS,
+    SyncPhaseEnded,
+    TakeoverPerformed,
+    TrainerCompleted,
+    UpdateRegistered,
+    UploadCompleted,
+    VerificationFailed,
+)
+
+__all__ = ["TelemetryCollector"]
+
+# Imported lazily so repro.obs stays import-time independent of
+# repro.core (whose modules themselves publish repro.obs events).
+_metric_types = None
+
+
+def _metrics_classes():
+    global _metric_types
+    if _metric_types is None:
+        from ..core.telemetry import IterationMetrics, SessionMetrics
+        _metric_types = (IterationMetrics, SessionMetrics)
+    return _metric_types
+
+
+class TelemetryCollector:
+    """Builds a :class:`SessionMetrics` from the protocol event stream."""
+
+    def __init__(self, bus: EventBus):
+        iteration_cls, session_cls = _metrics_classes()
+        self._iteration_cls = iteration_cls
+        #: The run's accumulated metrics (same object for the session's
+        #: whole lifetime, so holders never see a stale copy).
+        self.session = session_cls()
+        self._open: Dict[int, object] = {}
+        self._dispatch = {
+            IterationStarted: self._on_started,
+            IterationFinished: self._on_finished,
+            GradientRegistered: self._on_gradient,
+            UpdateRegistered: self._on_update,
+            GradientsAggregated: self._on_aggregated,
+            UploadCompleted: self._on_upload,
+            BytesReceived: self._on_bytes,
+            SyncPhaseEnded: self._on_sync_ended,
+            CommitmentComputed: self._on_commitment,
+            VerificationFailed: self._on_verification_failed,
+            TrainerCompleted: self._on_trainer_completed,
+            TakeoverPerformed: self._on_takeover,
+        }
+        self._subscription: Subscription = bus.subscribe(
+            self._handle, *PROTOCOL_EVENTS
+        )
+
+    def close(self) -> None:
+        """Stop collecting (already-recorded metrics stay available)."""
+        self._subscription.cancel()
+
+    @property
+    def metrics(self):
+        """Alias for :attr:`session` (reads like ``session.metrics``)."""
+        return self.session
+
+    # -- event handling ----------------------------------------------------------
+
+    def _handle(self, event) -> None:
+        self._dispatch[type(event)](event)
+
+    def _current(self, iteration: int) -> Optional[object]:
+        return self._open.get(iteration)
+
+    def _on_started(self, event) -> None:
+        metrics = self._iteration_cls(
+            iteration=event.iteration, started_at=event.at
+        )
+        self._open[event.iteration] = metrics
+        self.session.iterations.append(metrics)
+
+    def _on_finished(self, event) -> None:
+        metrics = self._open.pop(event.iteration, None)
+        if metrics is not None:
+            metrics.finished_at = event.at
+
+    def _on_gradient(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None and metrics.first_gradient_at is None:
+            metrics.first_gradient_at = event.at
+
+    def _on_update(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.update_registered_at[event.aggregator] = event.at
+
+    def _on_aggregated(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.gradients_aggregated_at[event.aggregator] = event.at
+
+    def _on_upload(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.upload_delays[event.trainer] = event.delay
+
+    def _on_bytes(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.bytes_received[event.participant] = (
+                metrics.bytes_received.get(event.participant, 0.0)
+                + event.amount
+            )
+
+    def _on_sync_ended(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.sync_delays[event.aggregator] = event.duration
+
+    def _on_commitment(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.commit_seconds[event.participant] = (
+                metrics.commit_seconds.get(event.participant, 0.0)
+                + event.seconds
+            )
+
+    def _on_verification_failed(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.verification_failures.append(event.label)
+
+    def _on_trainer_completed(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.trainers_completed.append(event.trainer)
+
+    def _on_takeover(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.takeovers.append(event.peer)

@@ -29,6 +29,8 @@ import heapq
 import itertools
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
+from ..obs.bus import EventBus
+
 __all__ = [
     "Event",
     "Timeout",
@@ -341,6 +343,10 @@ class Simulator:
         self._queue: List = []  # heap of (time, priority, seq, event)
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: The simulation's observability spine: everything built on this
+        #: kernel (network, IPFS, protocol roles) publishes typed events
+        #: here; telemetry/tracing subscribe.  See :mod:`repro.obs`.
+        self.bus = EventBus()
 
     # -- clock ------------------------------------------------------------
 

@@ -1,0 +1,196 @@
+"""Unit tests for the typed event bus (repro.obs.bus)."""
+
+import pytest
+
+from repro.obs import EventBus
+from repro.obs.events import (
+    DirectoryRequest,
+    IterationFinished,
+    IterationStarted,
+    TransferCompleted,
+    TransferStarted,
+)
+
+
+def started(at=0.0, iteration=0):
+    return IterationStarted(at=at, iteration=iteration)
+
+
+def finished(at=1.0, iteration=0):
+    return IterationFinished(at=at, iteration=iteration)
+
+
+# -- subscription and dispatch ---------------------------------------------------
+
+
+def test_typed_subscriber_receives_only_its_type():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append, IterationStarted)
+    bus.publish(started())
+    bus.publish(finished())
+    assert len(seen) == 1
+    assert isinstance(seen[0], IterationStarted)
+
+
+def test_multi_type_subscription():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append, IterationStarted, IterationFinished)
+    bus.publish(started())
+    bus.publish(finished())
+    bus.publish(DirectoryRequest(at=0.0, kind="dir.lookup"))
+    assert [type(e).__name__ for e in seen] == [
+        "IterationStarted", "IterationFinished"
+    ]
+
+
+def test_wildcard_subscriber_receives_everything():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.publish(started())
+    bus.publish(DirectoryRequest(at=0.0, kind="dir.lookup"))
+    assert len(seen) == 2
+
+
+def test_typed_handlers_run_before_wildcards():
+    bus = EventBus()
+    order = []
+    bus.subscribe(lambda e: order.append("all"))
+    bus.subscribe(lambda e: order.append("typed"), IterationStarted)
+    bus.publish(started())
+    assert order == ["typed", "all"]
+
+
+def test_handler_on_both_registrations_sees_event_twice():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append)
+    bus.subscribe(seen.append, IterationStarted)
+    bus.publish(started())
+    assert len(seen) == 2
+
+
+def test_publish_without_subscribers_is_noop():
+    bus = EventBus()
+    bus.publish(started())  # must not raise
+
+
+def test_handler_exception_propagates():
+    bus = EventBus()
+
+    def broken(event):
+        raise RuntimeError("boom")
+
+    bus.subscribe(broken, IterationStarted)
+    with pytest.raises(RuntimeError, match="boom"):
+        bus.publish(started())
+
+
+# -- wants() / active: the zero-overhead guard -----------------------------------
+
+
+def test_wants_false_on_fresh_bus():
+    bus = EventBus()
+    assert not bus.active
+    assert not bus.wants(IterationStarted)
+    assert not bus.wants(TransferCompleted)
+
+
+def test_wants_tracks_exact_type_only():
+    bus = EventBus()
+    bus.subscribe(lambda e: None, TransferStarted)
+    assert bus.wants(TransferStarted)
+    assert not bus.wants(TransferCompleted)
+
+
+def test_wildcard_makes_every_type_wanted():
+    bus = EventBus()
+    subscription = bus.subscribe(lambda e: None)
+    assert bus.wants(TransferCompleted)
+    assert bus.wants(DirectoryRequest)
+    subscription.cancel()
+    assert not bus.wants(TransferCompleted)
+
+
+def test_wants_false_again_after_cancel():
+    bus = EventBus()
+    subscription = bus.subscribe(lambda e: None, IterationStarted)
+    assert bus.wants(IterationStarted) and bus.active
+    subscription.cancel()
+    assert not bus.wants(IterationStarted)
+    assert not bus.active
+
+
+# -- Subscription lifecycle ------------------------------------------------------
+
+
+def test_cancel_stops_delivery():
+    bus = EventBus()
+    seen = []
+    subscription = bus.subscribe(seen.append, IterationStarted)
+    bus.publish(started())
+    subscription.cancel()
+    bus.publish(started())
+    assert len(seen) == 1
+
+
+def test_cancel_is_idempotent():
+    bus = EventBus()
+    subscription = bus.subscribe(lambda e: None, IterationStarted)
+    subscription.cancel()
+    subscription.cancel()  # must not raise
+    assert not subscription.active
+
+
+def test_subscription_as_context_manager():
+    bus = EventBus()
+    seen = []
+    with bus.subscribe(seen.append, IterationStarted):
+        bus.publish(started())
+    bus.publish(started())
+    assert len(seen) == 1
+
+
+def test_cancel_one_of_many_subscribers():
+    bus = EventBus()
+    first, second = [], []
+    sub_first = bus.subscribe(first.append, IterationStarted)
+    bus.subscribe(second.append, IterationStarted)
+    sub_first.cancel()
+    bus.publish(started())
+    assert not first and len(second) == 1
+
+
+def test_handler_may_unsubscribe_itself_mid_dispatch():
+    bus = EventBus()
+    seen = []
+    holder = {}
+
+    def once(event):
+        seen.append(event)
+        holder["sub"].cancel()
+
+    holder["sub"] = bus.subscribe(once, IterationStarted)
+    bus.publish(started())
+    bus.publish(started())
+    assert len(seen) == 1
+
+
+def test_handler_may_cancel_a_peer_mid_dispatch():
+    bus = EventBus()
+    peer_seen = []
+    holder = {}
+
+    def assassin(event):
+        holder["peer"].cancel()
+
+    # The assassin registers first, so it runs first; the peer must not
+    # blow up dispatch by having been removed from the handler list.
+    bus.subscribe(assassin, IterationStarted)
+    holder["peer"] = bus.subscribe(peer_seen.append, IterationStarted)
+    bus.publish(started())
+    bus.publish(started())
+    # The copy taken at dispatch time still delivers the first event.
+    assert len(peer_seen) == 1

@@ -1,0 +1,207 @@
+"""JSONL trace export, the counters registry, and the trace CLI."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.net import Network, TransferTrace, mbps
+from repro.obs import CountersRegistry, EventBus, JsonlTraceExporter
+from repro.obs.events import (
+    BlockFetched,
+    BlockStored,
+    DhtLookup,
+    DirectoryRequest,
+    IterationFinished,
+    IterationStarted,
+    TrainerCompleted,
+    TransferCompleted,
+    VerificationFailed,
+)
+from repro.sim import Simulator
+
+
+# -- JsonlTraceExporter ----------------------------------------------------------
+
+
+def test_exporter_writes_one_parseable_line_per_event():
+    bus = EventBus()
+    stream = io.StringIO()
+    exporter = JsonlTraceExporter(bus, stream)
+    bus.publish(IterationStarted(at=0.0, iteration=0))
+    bus.publish(TransferCompleted(at=1.5, src="a", dst="b", size=100.0,
+                                  started_at=0.5))
+    bus.publish(IterationFinished(at=2.0, iteration=0))
+    exporter.close()
+    lines = stream.getvalue().splitlines()
+    assert exporter.events_written == 3 == len(lines)
+    records = [json.loads(line) for line in lines]
+    assert [r["event"] for r in records] == [
+        "IterationStarted", "TransferCompleted", "IterationFinished"
+    ]
+    assert records[1] == {
+        "event": "TransferCompleted", "at": 1.5, "src": "a", "dst": "b",
+        "size": 100.0, "started_at": 0.5,
+    }
+
+
+def test_exporter_stringifies_non_json_values():
+    bus = EventBus()
+    stream = io.StringIO()
+    with JsonlTraceExporter(bus, stream):
+        bus.publish(BlockStored(at=0.0, node="ipfs-0", cid=object(),
+                                size=10))
+    record = json.loads(stream.getvalue())
+    assert isinstance(record["cid"], str)
+
+
+def test_exporter_close_detaches_and_keeps_callers_stream_open():
+    bus = EventBus()
+    stream = io.StringIO()
+    exporter = JsonlTraceExporter(bus, stream)
+    bus.publish(IterationStarted(at=0.0, iteration=0))
+    exporter.close()
+    bus.publish(IterationStarted(at=1.0, iteration=1))
+    assert exporter.events_written == 1
+    assert not stream.closed  # caller-owned stream stays usable
+    assert not bus.active
+
+
+def test_exporter_owns_path_destination(tmp_path):
+    bus = EventBus()
+    path = tmp_path / "run.jsonl"
+    with JsonlTraceExporter(bus, path) as exporter:
+        bus.publish(IterationStarted(at=0.0, iteration=0))
+        assert exporter.events_written == 1
+    assert exporter._stream.closed
+    [record] = [json.loads(line) for line in path.read_text().splitlines()]
+    assert record == {"event": "IterationStarted", "at": 0.0, "iteration": 0}
+
+
+# -- CountersRegistry ------------------------------------------------------------
+
+
+def test_counters_fold_the_event_stream():
+    bus = EventBus()
+    counters = CountersRegistry(bus)
+    bus.publish(TransferCompleted(at=1.0, src="a", dst="b", size=100.0,
+                                  started_at=0.0))
+    bus.publish(TransferCompleted(at=2.0, src="b", dst="a", size=50.0,
+                                  started_at=1.0))
+    bus.publish(BlockFetched(at=2.0, client="t", node="ipfs-0", cid="x",
+                             size=40.0))
+    bus.publish(DhtLookup(at=2.5, querier="t", cid="x", providers=3, hops=2))
+    bus.publish(DirectoryRequest(at=3.0, kind="dir.lookup"))
+    bus.publish(DirectoryRequest(at=3.0, kind="dir.register"))
+    bus.publish(VerificationFailed(at=4.0, iteration=0, label="bad",
+                                   scope="update"))
+    bus.publish(TrainerCompleted(at=5.0, iteration=0, trainer="t"))
+    assert counters.get("net.transfers") == 2
+    assert counters.get("net.bytes") == 150.0
+    assert counters.get("ipfs.fetches") == 1
+    assert counters.get("dht.hops") == 2
+    assert counters.get("dht.providers_found") == 3
+    assert counters.get("directory.requests") == 2
+    assert counters.get("directory.requests.dir.lookup") == 1
+    assert counters.get("protocol.verification_failures.update") == 1
+    assert counters.get("protocol.trainers_completed") == 1
+    assert counters.get("never.touched") == 0.0
+
+
+def test_counters_manual_api_and_snapshot():
+    bus = EventBus()
+    counters = CountersRegistry(bus)
+    counters.increment("custom.count")
+    counters.increment("custom.count", by=2.0)
+    counters.set_gauge("custom.level", 7.0)
+    assert counters.get("custom.count") == 3.0
+    assert counters.get("custom.level") == 7.0
+    snapshot = counters.snapshot()
+    assert list(snapshot) == sorted(snapshot)
+    assert snapshot["custom.count"] == 3.0
+    assert "custom.level" in counters.gauges()
+    counters.close()
+    bus.publish(TrainerCompleted(at=0.0, iteration=0, trainer="t"))
+    assert counters.get("protocol.trainers_completed") == 0.0
+
+
+# -- TransferTrace on the bus (satellite: detach-order regression) ---------------
+
+
+def make_network():
+    sim = Simulator()
+    network = Network(sim)
+    for name in ("a", "b"):
+        network.add_host(name, up_bandwidth=mbps(10))
+    return sim, network
+
+
+def run_transfer(sim, network, size=1000.0):
+    def proc():
+        yield network.transfer("a", "b", size)
+
+    sim.process(proc())
+    sim.run()
+
+
+def test_two_traces_detach_in_any_order():
+    # The legacy monkey-patch implementation restored ``network.transfer``
+    # on detach, so detaching traces out of LIFO order re-attached a dead
+    # trace's wrapper.  On the bus each trace is an independent
+    # subscription, so any detach order works.
+    sim, network = make_network()
+    first = TransferTrace(network)
+    second = TransferTrace(network)
+    run_transfer(sim, network)
+    assert len(first) == len(second) == 1
+
+    first.detach()  # out of LIFO order: second is still attached
+    run_transfer(sim, network)
+    assert len(first) == 1  # detached trace stays frozen
+    assert len(second) == 2  # survivor keeps recording
+
+    second.detach()
+    run_transfer(sim, network)
+    assert len(first) == 1 and len(second) == 2
+
+
+def test_trace_detach_is_idempotent():
+    sim, network = make_network()
+    trace = TransferTrace(network)
+    run_transfer(sim, network)
+    trace.detach()
+    trace.detach()
+    assert len(trace) == 1
+
+
+# -- the trace CLI ---------------------------------------------------------------
+
+
+def test_cli_trace_writes_parseable_jsonl(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    code = main([
+        "trace", "--output", str(out), "--trainers", "2", "--rounds", "1",
+        "--partitions", "1", "--ipfs-nodes", "2", "--params", "2000",
+    ])
+    assert code == 0
+    records = [json.loads(line)
+               for line in out.read_text().splitlines()]
+    assert records, "trace must contain events"
+    assert all("event" in r and "at" in r for r in records)
+    kinds = {r["event"] for r in records}
+    assert {"IterationStarted", "IterationFinished",
+            "TransferCompleted"} <= kinds
+    # Counter summary lands on stderr, one "name value" pair per line.
+    err = capsys.readouterr().err
+    assert f"{len(records)} events" in err
+    assert "net.transfers" in err
+
+
+def test_cli_trace_streams_to_stdout(capsys):
+    code = main([
+        "trace", "--trainers", "2", "--rounds", "1", "--partitions", "1",
+        "--ipfs-nodes", "2", "--params", "2000",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    records = [json.loads(line) for line in out.splitlines()]
+    assert records and all("event" in r for r in records)
