@@ -6,6 +6,12 @@ verifiable merge-and-download round, and prints the phases of Algorithm 1
 as they appear on the wire — upload wave, merge-and-download wave, update
 distribution — plus the traffic matrix by host role.
 
+A span collector rides along on the same bus and reconstructs the causal
+span tree of the round, from which the example prints the per-node phase
+windows, the critical path through the aggregation delay, and the
+straggler ranking.  (``python -m repro.cli timeline`` exports the same
+tree as a Perfetto trace.)
+
 Run:  python examples/iteration_timeline.py
 """
 
@@ -14,6 +20,7 @@ from collections import defaultdict
 from repro.core import FLSession, ProtocolConfig
 from repro.ml import LogisticRegression, make_classification, split_iid
 from repro.net import TransferTrace
+from repro.obs import CriticalPathAnalyzer, SpanCollector
 
 
 def role(host: str) -> str:
@@ -40,6 +47,7 @@ def main():
         bandwidth_mbps=10.0,
     )
     trace = TransferTrace(session.testbed.network)
+    spans = SpanCollector(session.sim.bus)
     metrics = session.run_iteration()
 
     print(f"one iteration, {len(trace)} transfers, "
@@ -74,6 +82,27 @@ def main():
     print(f"merge-and-download requests served by storage nodes: {merges}")
     print(f"commitment work at trainers: "
           f"{sum(metrics.commit_seconds.values()):.3f}s wall-clock")
+    print()
+
+    tree = spans.latest()
+    print(f"span tree: {len(tree)} spans across {len(tree.nodes())} nodes")
+    for node, node_spans in sorted(tree.by_node().items()):
+        phases = [span for span in node_spans if not span.is_instant]
+        if not phases:
+            continue
+        windows = ", ".join(
+            f"{span.name} [{span.start:.3f}, {span.end:.3f}]"
+            for span in sorted(phases, key=lambda span: span.start)
+        )
+        print(f"  {node:<14} {windows}")
+    print()
+
+    analyzer = CriticalPathAnalyzer(spans)
+    path = analyzer.analyze(tree.iteration)
+    print(path.format())
+    print()
+    print(analyzer.straggler_report(tree.iteration, threshold=0.05)
+          .format())
 
 
 if __name__ == "__main__":

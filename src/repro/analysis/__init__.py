@@ -10,6 +10,7 @@
 from .delays import (
     aggregator_download_bytes,
     naive_aggregation_time,
+    naive_collection_time,
     upload_time,
 )
 from .providers import (
@@ -27,6 +28,7 @@ __all__ = [
     "format_row",
     "format_table",
     "naive_aggregation_time",
+    "naive_collection_time",
     "optimal_providers",
     "Summary",
     "Sweep",

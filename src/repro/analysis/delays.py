@@ -14,6 +14,7 @@ from __future__ import annotations
 __all__ = [
     "aggregator_download_bytes",
     "naive_aggregation_time",
+    "naive_collection_time",
     "upload_time",
 ]
 
@@ -41,6 +42,37 @@ def naive_aggregation_time(
     if aggregator_bandwidth <= 0:
         raise ValueError("bandwidth must be positive")
     return trainers_per_aggregator * partition_bytes / aggregator_bandwidth
+
+
+def naive_collection_time(
+    num_gradients: int,
+    gradient_wire_bytes: float,
+    aggregator_bandwidth: float,
+    request_wire_bytes: float = 0.0,
+) -> float:
+    """Exact duration of a symmetric naive download wave.
+
+    When an aggregator issues ``num_gradients`` concurrent gets at one
+    instant over zero-latency links and its own access link is the
+    binding resource throughout (uplink for the requests, downlink for
+    the responses — true whenever each storage node serves fewer flows
+    than the fan-in), max-min fair sharing finishes all transfers
+    simultaneously and the wave degenerates to full serialization:
+
+        T = num_gradients * (request_wire + gradient_wire) / b
+
+    This is :func:`naive_aggregation_time` made wire-exact (framing
+    overheads included), suitable for float-tolerance golden tests of
+    the simulator's critical path.
+    """
+    if aggregator_bandwidth <= 0:
+        raise ValueError("bandwidth must be positive")
+    if num_gradients < 0:
+        raise ValueError("num_gradients must be non-negative")
+    return (
+        num_gradients * (request_wire_bytes + gradient_wire_bytes)
+        / aggregator_bandwidth
+    )
 
 
 def upload_time(

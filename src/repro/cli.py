@@ -19,6 +19,17 @@ Subcommands
     Run a session with the event-bus trace exporter attached and write
     every event as one JSON line (see docs/OBSERVABILITY.md), plus a
     counter summary to stderr.
+``timeline``
+    Run a session, reconstruct per-iteration span trees and write a
+    Perfetto / Chrome trace-event JSON timeline (open the file in
+    ui.perfetto.dev).
+``critical-path``
+    Run a session and print each iteration's critical-path
+    decomposition and straggler ranking.
+
+The three trace-family subcommands share the same session knobs and
+flush their output even when the run fails mid-round (the partial
+timeline is exactly what you want for debugging that failure).
 """
 
 from __future__ import annotations
@@ -33,7 +44,13 @@ import numpy as np
 from .analysis import format_table, optimal_providers
 from .core import FLSession, ProtocolConfig
 from .crypto import sha256
-from .obs import CountersRegistry, JsonlTraceExporter
+from .obs import (
+    CountersRegistry,
+    CriticalPathAnalyzer,
+    JsonlTraceExporter,
+    PerfettoExporter,
+    SpanCollector,
+)
 from .core.verification import PartitionCommitter
 from .ml import (
     Dataset,
@@ -97,23 +114,46 @@ def build_parser() -> argparse.ArgumentParser:
     cost.add_argument("--curves", nargs="+",
                       default=["secp256k1", "secp256r1"])
 
+    def add_trace_session_args(sub) -> None:
+        """Session knobs shared by trace/timeline/critical-path."""
+        sub.add_argument("--trainers", type=int, default=4)
+        sub.add_argument("--rounds", type=int, default=1)
+        sub.add_argument("--partitions", type=int, default=2)
+        sub.add_argument("--aggregators-per-partition", type=int, default=1)
+        sub.add_argument("--ipfs-nodes", type=int, default=4)
+        sub.add_argument("--bandwidth-mbps", type=float, default=10.0)
+        sub.add_argument("--params", type=int, default=20_000,
+                         help="synthetic model size (flat parameter count)")
+        sub.add_argument("--merge-and-download", action="store_true")
+        sub.add_argument("--verifiable", action="store_true")
+        sub.add_argument("--seed", type=int, default=0)
+
     trace = subparsers.add_parser(
         "trace",
         help="run a session and export its event timeline as JSONL",
     )
     trace.add_argument("--output", default="-",
                        help="destination file ('-' = stdout)")
-    trace.add_argument("--trainers", type=int, default=4)
-    trace.add_argument("--rounds", type=int, default=1)
-    trace.add_argument("--partitions", type=int, default=2)
-    trace.add_argument("--aggregators-per-partition", type=int, default=1)
-    trace.add_argument("--ipfs-nodes", type=int, default=4)
-    trace.add_argument("--bandwidth-mbps", type=float, default=10.0)
-    trace.add_argument("--params", type=int, default=20_000,
-                       help="synthetic model size (flat parameter count)")
-    trace.add_argument("--merge-and-download", action="store_true")
-    trace.add_argument("--verifiable", action="store_true")
-    trace.add_argument("--seed", type=int, default=0)
+    add_trace_session_args(trace)
+
+    timeline = subparsers.add_parser(
+        "timeline",
+        help="run a session and export a Perfetto span timeline "
+             "(open in ui.perfetto.dev)",
+    )
+    timeline.add_argument("--output", default="-",
+                          help="destination file ('-' = stdout)")
+    add_trace_session_args(timeline)
+
+    critical = subparsers.add_parser(
+        "critical-path",
+        help="run a session and print each iteration's critical-path "
+             "decomposition and straggler ranking",
+    )
+    critical.add_argument("--straggler-threshold", type=float, default=0.0,
+                          help="slack (sim-seconds) within which a "
+                               "participant counts as a straggler")
+    add_trace_session_args(critical)
 
     reproduce = subparsers.add_parser(
         "reproduce",
@@ -260,10 +300,11 @@ def _run_commit_cost(args) -> int:
     return 0
 
 
-# -- trace -----------------------------------------------------------------------
+# -- trace / timeline / critical-path ----------------------------------------------
 
 
-def _run_trace(args) -> int:
+def _build_trace_session(args) -> FLSession:
+    """The shared session the trace-family subcommands run."""
     config = ProtocolConfig(
         num_partitions=args.partitions,
         aggregators_per_partition=args.aggregators_per_partition,
@@ -279,24 +320,94 @@ def _run_trace(args) -> int:
         Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
         for index in range(args.trainers)
     ]
-    session = FLSession(
+    return FLSession(
         config,
         model_factory=lambda: SyntheticModel(args.params),
         datasets=shards,
         num_ipfs_nodes=args.ipfs_nodes,
         bandwidth_mbps=args.bandwidth_mbps,
     )
+
+
+def _run_rounds(session: FLSession, rounds: int) -> Optional[BaseException]:
+    """Run ``rounds`` iterations, capturing (not raising) a failure so
+    callers can flush whatever the run produced before reporting it."""
+    try:
+        session.run(rounds=rounds)
+    except Exception as exc:
+        return exc
+    return None
+
+
+def _report_failure(failure: Optional[BaseException]) -> int:
+    if failure is None:
+        return 0
+    print(f"run failed: {failure!r} (partial output kept)",
+          file=sys.stderr)
+    return 1
+
+
+def _run_trace(args) -> int:
+    session = _build_trace_session(args)
     counters = CountersRegistry(session.sim.bus)
     destination = sys.stdout if args.output == "-" else args.output
+    # The context manager closes/flushes the exporter even when the run
+    # dies mid-round, so the timeline file stays valid JSONL.
     with JsonlTraceExporter(session.sim.bus, destination) as exporter:
-        session.run(rounds=args.rounds)
+        failure = _run_rounds(session, args.rounds)
         events_written = exporter.events_written
     print(f"{events_written} events"
           + ("" if args.output == "-" else f" -> {args.output}"),
           file=sys.stderr)
     for name, value in counters.snapshot().items():
         print(f"{name:44s} {value:g}", file=sys.stderr)
-    return 0
+    return _report_failure(failure)
+
+
+def _run_timeline(args) -> int:
+    session = _build_trace_session(args)
+    collector = SpanCollector(session.sim.bus)
+    try:
+        failure = _run_rounds(session, args.rounds)
+    finally:
+        collector.close()
+    exporter = PerfettoExporter(
+        collector.trees[iteration] for iteration in sorted(collector.trees)
+    )
+    if args.output == "-":
+        exporter.write(sys.stdout)
+        sys.stdout.write("\n")
+    else:
+        exporter.write(args.output)
+    print(f"{len(collector.trees)} iteration(s)"
+          + ("" if args.output == "-"
+             else f" -> {args.output} (open in ui.perfetto.dev)"),
+          file=sys.stderr)
+    return _report_failure(failure)
+
+
+def _run_critical_path(args) -> int:
+    session = _build_trace_session(args)
+    collector = SpanCollector(session.sim.bus)
+    try:
+        failure = _run_rounds(session, args.rounds)
+    finally:
+        collector.close()
+    analyzer = CriticalPathAnalyzer(collector)
+    for iteration in analyzer.iterations():
+        path = analyzer.analyze(iteration)
+        if path is None:
+            print(f"iteration {iteration}: no critical path "
+                  "(no aggregation completed)")
+            continue
+        print(path.format())
+        report = analyzer.straggler_report(
+            iteration, threshold=args.straggler_threshold
+        )
+        if report is not None and report.entries:
+            print(report.format())
+        print()
+    return _report_failure(failure)
 
 
 def _run_reproduce(args) -> int:
@@ -338,6 +449,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_commit_cost(args)
     if args.command == "trace":
         return _run_trace(args)
+    if args.command == "timeline":
+        return _run_timeline(args)
+    if args.command == "critical-path":
+        return _run_critical_path(args)
     if args.command == "reproduce":
         return _run_reproduce(args)
     raise AssertionError(f"unhandled command {args.command!r}")

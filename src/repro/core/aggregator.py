@@ -284,12 +284,14 @@ class Aggregator:
                 sync_topic(self.partition_id, schedule.iteration), self.name
             )
         bytes_start = self.ipfs.bytes_downloaded
+        collect_started = self.sim.now
 
         blobs, _rows = yield from self._collect_gradients(schedule)
         if bus.wants(GradientsAggregated):
             bus.publish(GradientsAggregated(
                 at=self.sim.now, iteration=schedule.iteration,
-                aggregator=self.name,
+                aggregator=self.name, partition_id=self.partition_id,
+                started_at=collect_started,
             ))
 
         blobs = self.behavior.select_gradients(blobs)
@@ -323,6 +325,7 @@ class Aggregator:
                 )
                 if existing:
                     return
+            publish_started = self.sim.now
             global_blob = sum_encoded_partitions(
                 list(contributions.values())
             )
@@ -343,6 +346,7 @@ class Aggregator:
                 bus.publish(UpdateRegistered(
                     at=self.sim.now, iteration=schedule.iteration,
                     aggregator=self.name, partition_id=self.partition_id,
+                    started_at=publish_started,
                 ))
         finally:
             if subscription is not None:
@@ -361,7 +365,7 @@ class Aggregator:
         if bus.wants(SyncPhaseStarted):
             bus.publish(SyncPhaseStarted(
                 at=sync_start, iteration=schedule.iteration,
-                aggregator=self.name,
+                aggregator=self.name, partition_id=self.partition_id,
             ))
         if partial_blob is not None:
             announced = self.behavior.tamper_update(partial_blob)
@@ -432,4 +436,5 @@ class Aggregator:
             bus.publish(SyncPhaseEnded(
                 at=self.sim.now, iteration=schedule.iteration,
                 aggregator=self.name, duration=self.sim.now - sync_start,
+                partition_id=self.partition_id,
             ))

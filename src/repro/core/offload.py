@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..crypto import Commitment
 from ..ipfs import CID, IPFSClient
+from ..obs.events import SnapshotSealed
 from .addressing import GRADIENT
 from .directory import DirectoryService
 
@@ -137,6 +138,13 @@ class SnapshotPublisher:
         blob = encode_snapshot(partition_id, iteration, rows)
         snapshot_cid = yield from self.ipfs.put(blob, node=self.node)
         self.snapshots[(partition_id, iteration)] = snapshot_cid
+        bus = self.directory.sim.bus
+        if bus.wants(SnapshotSealed):
+            bus.publish(SnapshotSealed(
+                at=self.directory.sim.now, iteration=iteration,
+                partition_id=partition_id, node=self.node,
+                cid=snapshot_cid.encode(),
+            ))
         return snapshot_cid
 
     def snapshot_cid(self, partition_id: int,

@@ -209,7 +209,9 @@ class FLSession:
         bus = self.sim.bus
         if bus.wants(IterationStarted):
             bus.publish(IterationStarted(at=self.sim.now,
-                                         iteration=iteration))
+                                         iteration=iteration,
+                                         t_train=schedule.t_train,
+                                         t_sync=schedule.t_sync))
         # Arm the directory's gradient-registration cutoff so late
         # registrations can never enter the accumulated commitments.
         self.directory.begin_iteration(iteration, schedule.t_train)

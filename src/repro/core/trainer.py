@@ -214,6 +214,7 @@ class Trainer:
                 if not ack.get("accepted"):
                     failures.append(partition_id)  # cutoff: round missed
 
+        uploads_started = self.sim.now
         uploads = [
             self.sim.process(
                 upload_one(partition_id, blob, commitment),
@@ -236,6 +237,7 @@ class Trainer:
                 at=self.sim.now, iteration=schedule.iteration,
                 trainer=self.name,
                 delay=sum(upload_delays) / len(upload_delays),
+                started_at=uploads_started,
             ))
 
         # -- retrieve the updated partitions ------------------------------------

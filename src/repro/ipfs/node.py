@@ -314,6 +314,7 @@ class IPFSClient:
         DHT.  Corrupted responses (hash mismatch) and timeouts skip to the
         next provider.  Raises :class:`NotFoundError` when exhausted.
         """
+        fetch_started = self.sim.now
         candidates: List[str] = list(prefer_nodes)
         discovered = yield from self.dht.find_providers(
             cid, limit=max_providers, querier=self.name
@@ -347,6 +348,7 @@ class IPFSClient:
                 bus.publish(BlockFetched(
                     at=self.sim.now, client=self.name, node=node, cid=cid,
                     size=len(data) + REQUEST_OVERHEAD,
+                    started_at=fetch_started,
                 ))
             return data
         raise last_error or NotFoundError(f"could not retrieve {cid!r}")
@@ -369,6 +371,7 @@ class IPFSClient:
 
         Returns the block bytes, or None on miss/timeout/corruption.
         """
+        fetch_started = self.sim.now
         response = yield from self._request(
             node, KIND_GET_BLOCK, cid, REQUEST_OVERHEAD + CID_WIRE_SIZE
         )
@@ -383,6 +386,7 @@ class IPFSClient:
             bus.publish(BlockFetched(
                 at=self.sim.now, client=self.name, node=node, cid=cid,
                 size=len(data) + REQUEST_OVERHEAD,
+                started_at=fetch_started,
             ))
         return data
 
@@ -456,6 +460,7 @@ class IPFSClient:
         the verifiable-aggregation layer checks the merged result against
         the product of the constituent Pedersen commitments instead.
         """
+        fetch_started = self.sim.now
         cid_list = list(cids)
         request = {"cids": cid_list, "merger": merger}
         size = REQUEST_OVERHEAD + CID_WIRE_SIZE * len(cid_list)
@@ -474,6 +479,7 @@ class IPFSClient:
             bus.publish(BlockFetched(
                 at=self.sim.now, client=self.name, node=node, cid=None,
                 size=len(merged) + REQUEST_OVERHEAD,
+                started_at=fetch_started,
             ))
         return merged, payload["count"]
 

@@ -13,6 +13,11 @@ and aggregators — publish small typed events
   DHT hops, bytes by layer).
 - :class:`JsonlTraceExporter` — streams every event to a JSON-lines
   timeline file (``python -m repro.cli trace``).
+- :class:`SpanCollector` — reconstructs per-iteration causal span trees
+  (:mod:`repro.obs.spans`); :class:`CriticalPathAnalyzer` decomposes the
+  aggregation delay along the slowest chain and ranks stragglers;
+  :class:`PerfettoExporter` renders the trees as a Perfetto timeline
+  (``python -m repro.cli timeline`` / ``critical-path``).
 - :class:`~repro.net.trace.TransferTrace` — flow records, now a thin
   subscriber over ``TransferStarted``/``TransferCompleted``.
 
@@ -23,6 +28,13 @@ boolean check per site.  See ``docs/OBSERVABILITY.md``.
 
 from .bus import EventBus, Subscription
 from .counters import CountersRegistry
+from .critical_path import (
+    CriticalPath,
+    CriticalPathAnalyzer,
+    CriticalStep,
+    StragglerEntry,
+    StragglerReport,
+)
 from .events import (
     BlockFetched,
     BlockStored,
@@ -37,6 +49,7 @@ from .events import (
     IterationStarted,
     PROTOCOL_EVENTS,
     PartialUpdateRegistered,
+    SnapshotSealed,
     SyncPhaseEnded,
     SyncPhaseStarted,
     TakeoverPerformed,
@@ -48,6 +61,9 @@ from .events import (
     VerificationFailed,
 )
 from .jsonl import JsonlTraceExporter
+from .perfetto import PerfettoExporter
+from .spans import SPAN_EVENTS, Span, SpanCollector, SpanTree, \
+    build_span_tree
 from .telemetry import TelemetryCollector
 
 __all__ = [
@@ -56,6 +72,9 @@ __all__ = [
     "BytesReceived",
     "CommitmentComputed",
     "CountersRegistry",
+    "CriticalPath",
+    "CriticalPathAnalyzer",
+    "CriticalStep",
     "DhtLookup",
     "DirectoryRequest",
     "Event",
@@ -67,6 +86,14 @@ __all__ = [
     "JsonlTraceExporter",
     "PROTOCOL_EVENTS",
     "PartialUpdateRegistered",
+    "PerfettoExporter",
+    "SPAN_EVENTS",
+    "SnapshotSealed",
+    "Span",
+    "SpanCollector",
+    "SpanTree",
+    "StragglerEntry",
+    "StragglerReport",
     "Subscription",
     "SyncPhaseEnded",
     "SyncPhaseStarted",
@@ -78,4 +105,5 @@ __all__ = [
     "UpdateRegistered",
     "UploadCompleted",
     "VerificationFailed",
+    "build_span_tree",
 ]

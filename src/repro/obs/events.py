@@ -16,6 +16,15 @@ Two layers:
   boundaries, verification outcomes.  They carry ``iteration`` so
   subscribers can attribute them to a training round.
 
+Correlation keys: phase events additionally carry ``(iteration,
+partition_id, <node>)`` plus a ``started_at`` timestamp where the phase
+has a well-defined begin.  :mod:`repro.obs.spans` reconstructs a causal
+span tree from these keys; producers stamp them for free (they are
+plain attribute reads) inside the same :meth:`~repro.obs.bus.EventBus.
+wants` guards, so the zero-subscriber overhead contract is unchanged.
+Correlation fields default to ``None``/``-1`` so alternative producers
+(the baselines) remain valid emitters without stamping them.
+
 See ``docs/OBSERVABILITY.md`` for the full schema.
 """
 
@@ -48,6 +57,7 @@ __all__ = [
     "VerificationFailed",
     "TrainerCompleted",
     "TakeoverPerformed",
+    "SnapshotSealed",
     "PROTOCOL_EVENTS",
 ]
 
@@ -94,13 +104,19 @@ class BlockStored(Event):
 
 @dataclass(frozen=True)
 class BlockFetched(Event):
-    """A client successfully retrieved (and verified) content."""
+    """A client successfully retrieved (and verified) content.
+
+    ``started_at`` is when the client began the retrieval (provider
+    resolution included), so ``at - started_at`` is the fetch latency;
+    None when the producer does not track it.
+    """
 
     at: float
     client: str
     node: str
     cid: str
     size: int
+    started_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -131,10 +147,17 @@ class DirectoryRequest(Event):
 
 @dataclass(frozen=True)
 class IterationStarted(Event):
-    """A training round began."""
+    """A training round began.
+
+    ``t_train``/``t_sync`` are the round's absolute deadlines (Algorithm
+    1's schedule), stamped so timeline subscribers can draw them without
+    access to the session's config.
+    """
 
     at: float
     iteration: int
+    t_train: Optional[float] = None
+    t_sync: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -167,21 +190,32 @@ class PartialUpdateRegistered(Event):
 
 @dataclass(frozen=True)
 class UpdateRegistered(Event):
-    """A globally updated partition's registration was acknowledged."""
+    """A globally updated partition's registration was acknowledged.
+
+    ``started_at`` is when the aggregator began publishing the global
+    update (summing contributions, uploading, registering).
+    """
 
     at: float
     iteration: int
     aggregator: str
     partition_id: int
+    started_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
 class GradientsAggregated(Event):
-    """An aggregator finished collecting its trainers' gradients."""
+    """An aggregator finished collecting its trainers' gradients.
+
+    ``started_at`` is when the aggregator began the collection phase;
+    ``partition_id`` correlates the phase with registrations.
+    """
 
     at: float
     iteration: int
     aggregator: str
+    partition_id: int = -1
+    started_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -190,12 +224,14 @@ class UploadCompleted(Event):
 
     ``delay`` is the paper's upload delay: mean seconds from gradient
     put to store acknowledgment over the trainer's partitions.
+    ``started_at`` is when the upload wave began (first partition put).
     """
 
     at: float
     iteration: int
     trainer: str
     delay: float
+    started_at: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -215,6 +251,7 @@ class SyncPhaseStarted(Event):
     at: float
     iteration: int
     aggregator: str
+    partition_id: int = -1
 
 
 @dataclass(frozen=True)
@@ -225,6 +262,7 @@ class SyncPhaseEnded(Event):
     iteration: int
     aggregator: str
     duration: float
+    partition_id: int = -1
 
 
 @dataclass(frozen=True)
@@ -270,6 +308,18 @@ class TakeoverPerformed(Event):
     iteration: int
     aggregator: str
     peer: str
+
+
+@dataclass(frozen=True)
+class SnapshotSealed(Event):
+    """The directory sealed a completed partition map onto IPFS
+    (Sec. VI map-snapshot offload)."""
+
+    at: float
+    iteration: int
+    partition_id: int
+    node: str
+    cid: str
 
 
 #: The iteration-scoped events :class:`~repro.obs.telemetry

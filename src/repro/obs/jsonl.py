@@ -7,8 +7,10 @@ One JSON object per line, one line per event::
 Every record has ``event`` (the event class name) and ``at`` (simulated
 seconds); the remaining keys are the event dataclass's fields.  Values
 that are not JSON-native (e.g. CIDs) are stringified.  The format is
-line-appendable and tail-able — the raw material for timeline analysis,
-exposed on the command line as ``python -m repro.cli trace``.
+tail-able and concatenation-safe — the raw material for timeline
+analysis, exposed on the command line as ``python -m repro.cli trace``.
+Path destinations are truncated by default; pass ``append=True`` to
+extend an existing timeline instead (e.g. across separate runs).
 """
 
 from __future__ import annotations
@@ -24,10 +26,11 @@ __all__ = ["JsonlTraceExporter"]
 
 
 class JsonlTraceExporter:
-    """Subscribes to every event and appends each as one JSON line."""
+    """Subscribes to every event and writes each as one JSON line."""
 
     def __init__(self, bus: EventBus,
-                 destination: Union[str, "os.PathLike[str]", IO[str]]):
+                 destination: Union[str, "os.PathLike[str]", IO[str]],
+                 append: bool = False):
         """
         Parameters
         ----------
@@ -36,13 +39,16 @@ class JsonlTraceExporter:
         destination:
             A path (opened for writing, closed by :meth:`close`) or any
             object with ``write(str)`` (left open; caller owns it).
+        append:
+            When ``destination`` is a path, open it in append mode
+            instead of truncating.  Ignored for stream destinations.
         """
         if hasattr(destination, "write"):
             self._stream: IO[str] = destination  # type: ignore[assignment]
             self._owns_stream = False
         else:
-            self._stream = open(os.fspath(destination), "w",
-                                encoding="utf-8")
+            self._stream = open(os.fspath(destination),
+                                "a" if append else "w", encoding="utf-8")
             self._owns_stream = True
         self.events_written = 0
         self._fields: Dict[type, Tuple[str, ...]] = {}

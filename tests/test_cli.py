@@ -75,3 +75,44 @@ def test_reproduce_parser():
     assert args.figures == ["fig1"]
     args = build_parser().parse_args(["reproduce"])
     assert args.figures == ["fig1", "fig2", "fig3"]
+
+
+SMALL_SESSION = [
+    "--trainers", "2", "--rounds", "1", "--partitions", "1",
+    "--ipfs-nodes", "2", "--params", "2000",
+]
+
+
+def test_timeline_writes_a_loadable_perfetto_trace(tmp_path, capsys):
+    import json
+    out = tmp_path / "timeline.json"
+    code = main(["timeline", "--output", str(out)] + SMALL_SESSION)
+    assert code == 0
+    trace = json.loads(out.read_text())
+    slices = [record for record in trace["traceEvents"]
+              if record["ph"] == "X"]
+    assert slices and all("ts" in r and "dur" in r and "tid" in r
+                          for r in slices)
+    assert {record["name"] for record in slices} >= {
+        "iteration", "upload", "collect", "publish_update",
+    }
+    assert "ui.perfetto.dev" in capsys.readouterr().err
+
+
+def test_timeline_streams_to_stdout(capsys):
+    import json
+    code = main(["timeline"] + SMALL_SESSION)
+    assert code == 0
+    trace = json.loads(capsys.readouterr().out)
+    assert trace["traceEvents"]
+
+
+def test_critical_path_prints_the_decomposition(capsys):
+    code = main(["critical-path", "--straggler-threshold", "0.1"]
+                + SMALL_SESSION)
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "critical path" in out
+    assert "upload" in out and "publish_update" in out
+    assert "stragglers (threshold 0.100 s)" in out
+    assert "<-- straggler" in out

@@ -2,13 +2,15 @@
 
 import pytest
 
-from repro.obs import EventBus
+from repro.obs import CountersRegistry, EventBus
 from repro.obs.events import (
     DirectoryRequest,
     IterationFinished,
     IterationStarted,
+    TakeoverPerformed,
     TransferCompleted,
     TransferStarted,
+    VerificationFailed,
 )
 
 
@@ -194,3 +196,39 @@ def test_handler_may_cancel_a_peer_mid_dispatch():
     bus.publish(started())
     # The copy taken at dispatch time still delivers the first event.
     assert len(peer_seen) == 1
+
+
+# -- adversarial-path counters ---------------------------------------------------
+# (Honest runs emit neither event, so these paths need direct coverage.)
+
+
+def test_counters_count_verification_failures_total_and_by_scope():
+    bus = EventBus()
+    counters = CountersRegistry(bus)
+    bus.publish(VerificationFailed(at=1.0, iteration=0, label="u/p0/i0",
+                                   scope="update"))
+    bus.publish(VerificationFailed(at=2.0, iteration=0, label="p/p0/i0",
+                                   scope="partial_update"))
+    bus.publish(VerificationFailed(at=3.0, iteration=1, label="u/p1/i1",
+                                   scope="update"))
+    assert counters.get("protocol.verification_failures") == 3
+    assert counters.get("protocol.verification_failures.update") == 2
+    assert counters.get("protocol.verification_failures.partial_update") == 1
+    assert counters.get("protocol.verification_failures.trainer") == 0.0
+
+
+def test_counters_count_takeovers():
+    bus = EventBus()
+    counters = CountersRegistry(bus)
+    bus.publish(TakeoverPerformed(at=5.0, iteration=2,
+                                  aggregator="aggregator-0",
+                                  peer="aggregator-1"))
+    bus.publish(TakeoverPerformed(at=6.0, iteration=2,
+                                  aggregator="aggregator-0",
+                                  peer="aggregator-2"))
+    assert counters.get("protocol.takeovers") == 2
+    counters.close()
+    bus.publish(TakeoverPerformed(at=7.0, iteration=3,
+                                  aggregator="aggregator-0",
+                                  peer="aggregator-1"))
+    assert counters.get("protocol.takeovers") == 2  # closed: frozen

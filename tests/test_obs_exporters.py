@@ -74,7 +74,28 @@ def test_exporter_owns_path_destination(tmp_path):
         assert exporter.events_written == 1
     assert exporter._stream.closed
     [record] = [json.loads(line) for line in path.read_text().splitlines()]
-    assert record == {"event": "IterationStarted", "at": 0.0, "iteration": 0}
+    assert record == {"event": "IterationStarted", "at": 0.0, "iteration": 0,
+                      "t_train": None, "t_sync": None}
+
+
+def test_exporter_truncates_path_by_default(tmp_path):
+    path = tmp_path / "run.jsonl"
+    for iteration in range(2):
+        bus = EventBus()
+        with JsonlTraceExporter(bus, path):
+            bus.publish(IterationStarted(at=0.0, iteration=iteration))
+    [record] = [json.loads(line) for line in path.read_text().splitlines()]
+    assert record["iteration"] == 1  # second run replaced the first
+
+
+def test_exporter_append_mode_extends_an_existing_timeline(tmp_path):
+    path = tmp_path / "run.jsonl"
+    for iteration in range(2):
+        bus = EventBus()
+        with JsonlTraceExporter(bus, path, append=True):
+            bus.publish(IterationStarted(at=0.0, iteration=iteration))
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [r["iteration"] for r in records] == [0, 1]
 
 
 # -- CountersRegistry ------------------------------------------------------------
@@ -205,3 +226,48 @@ def test_cli_trace_streams_to_stdout(capsys):
     out = capsys.readouterr().out
     records = [json.loads(line) for line in out.splitlines()]
     assert records and all("event" in r for r in records)
+
+
+def test_cli_trace_failing_run_still_leaves_valid_jsonl(
+        tmp_path, capsys, monkeypatch):
+    # A run that dies mid-round must exit non-zero yet leave the events
+    # written so far as a valid, parseable timeline (the exporter is
+    # closed/flushed via its context manager).
+    from repro.core import FLSession
+    from repro.obs.events import IterationStarted as Started
+
+    def exploding_run(self, rounds):
+        bus = self.sim.bus
+        bus.publish(Started(at=0.0, iteration=0))
+        bus.publish(Started(at=1.0, iteration=1))
+        raise RuntimeError("mid-round crash")
+
+    monkeypatch.setattr(FLSession, "run", exploding_run)
+    out = tmp_path / "trace.jsonl"
+    code = main([
+        "trace", "--output", str(out), "--trainers", "2", "--rounds", "1",
+        "--partitions", "1", "--ipfs-nodes", "2", "--params", "2000",
+    ])
+    assert code == 1
+    records = [json.loads(line) for line in out.read_text().splitlines()]
+    assert [r["iteration"] for r in records] == [0, 1]
+    assert "run failed" in capsys.readouterr().err
+
+
+def test_cli_timeline_failing_run_still_writes_valid_json(
+        tmp_path, capsys, monkeypatch):
+    from repro.core import FLSession
+
+    def exploding_run(self, rounds):
+        raise RuntimeError("mid-round crash")
+
+    monkeypatch.setattr(FLSession, "run", exploding_run)
+    out = tmp_path / "timeline.json"
+    code = main([
+        "timeline", "--output", str(out), "--trainers", "2", "--rounds",
+        "1", "--partitions", "1", "--ipfs-nodes", "2", "--params", "2000",
+    ])
+    assert code == 1
+    trace = json.loads(out.read_text())  # still well-formed JSON
+    assert "traceEvents" in trace
+    assert "run failed" in capsys.readouterr().err
