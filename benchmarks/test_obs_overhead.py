@@ -9,6 +9,11 @@ This benchmark quantifies that on the paper's Fig. 1 configuration
 observed run's wall-clock.  Since the observed run does strictly more
 work (event objects, dispatch, metric folding), this bounds the bus
 machinery itself well below 5%.
+
+The metrics layer rides the same bus, so its cost is budgeted here too:
+a run with a :class:`~repro.obs.MetricsRegistry` *and* a quarter-second
+:class:`~repro.obs.ResourceSampler` attached on top of telemetry must
+stay within 10% of the bare (unobserved) run.
 """
 
 import time
@@ -18,12 +23,15 @@ from _helpers import dummy_datasets, save_table
 from repro.analysis import format_table
 from repro.core import FLSession, ProtocolConfig
 from repro.ml import SyntheticModel
+from repro.obs import MetricsRegistry, ResourceSampler
 
 NUM_TRAINERS = 16
 PARTITION_PARAMS = 162_500  # ~1.3 MB of float64, as in Fig. 1
 ROUNDS = 2
 REPEATS = 5
 MAX_OVERHEAD = 0.05
+MAX_METRICS_OVERHEAD = 0.10
+SAMPLE_INTERVAL = 0.25
 
 
 def _make_session():
@@ -59,29 +67,59 @@ def _one_run(observed: bool) -> float:
     return elapsed
 
 
+def _one_metrics_run() -> float:
+    """Wall-clock seconds with the full metrics stack attached:
+    telemetry + MetricsRegistry (with its owned counters) + a
+    quarter-second resource sampler."""
+    session = _make_session()
+    registry = MetricsRegistry(session.sim.bus)
+    sampler = ResourceSampler.for_session(session, registry,
+                                          interval=SAMPLE_INTERVAL)
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        session.run_iteration()
+    elapsed = time.perf_counter() - started
+    sampler.stop()
+    registry.close()
+    assert registry.histogram("net.transfer.duration").count > 0
+    assert sampler.samples_taken > ROUNDS
+    return elapsed
+
+
 def test_unobserved_run_pays_no_instrumentation_tax():
-    # Interleave the two variants and compare best-of: per-run noise on
+    # Interleave the variants and compare best-of: per-run noise on
     # a shared machine dwarfs the effect under test, while the minimum
     # of each variant converges on its true cost.
-    observed_runs, unobserved_runs = [], []
+    observed_runs, unobserved_runs, metrics_runs = [], [], []
     for _ in range(REPEATS):
         observed_runs.append(_one_run(observed=True))
         unobserved_runs.append(_one_run(observed=False))
+        metrics_runs.append(_one_metrics_run())
     observed = min(observed_runs)
     unobserved = min(unobserved_runs)
+    with_metrics = min(metrics_runs)
     overhead = unobserved / observed - 1.0
+    metrics_overhead = with_metrics / unobserved - 1.0
     save_table("obs_overhead", format_table(
         ["variant", "wall-clock (s)"],
         [
             ["observed (telemetry subscribed)", observed],
             ["unobserved (no subscribers)", unobserved],
-            ["overhead", f"{overhead * 100:+.1f}%"],
+            ["metrics (registry + 0.25 s sampler)", with_metrics],
+            ["bus overhead (unobserved vs observed)",
+             f"{overhead * 100:+.1f}%"],
+            ["metrics overhead (vs unobserved)",
+             f"{metrics_overhead * 100:+.1f}%"],
         ],
         title=f"{NUM_TRAINERS} trainers, {ROUNDS} rounds, Fig. 1 config",
     ))
     assert unobserved <= observed * (1.0 + MAX_OVERHEAD), (
         f"unobserved run {unobserved:.3f}s exceeds observed "
         f"{observed:.3f}s by more than {MAX_OVERHEAD:.0%}"
+    )
+    assert with_metrics <= unobserved * (1.0 + MAX_METRICS_OVERHEAD), (
+        f"metrics-attached run {with_metrics:.3f}s exceeds bare "
+        f"{unobserved:.3f}s by more than {MAX_METRICS_OVERHEAD:.0%}"
     )
 
 

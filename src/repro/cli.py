@@ -26,10 +26,19 @@ Subcommands
 ``critical-path``
     Run a session and print each iteration's critical-path
     decomposition and straggler ranking.
+``metrics``
+    Run a session with the metrics registry and resource sampler
+    attached; print the OpenMetrics exposition and (optionally) write a
+    JSON run manifest.
+``compare``
+    Diff two run manifests with a relative-change threshold; exits
+    non-zero when a metric regressed (use ``--warn-only`` in advisory
+    contexts like a new CI baseline).
 
-The three trace-family subcommands share the same session knobs and
-flush their output even when the run fails mid-round (the partial
-timeline is exactly what you want for debugging that failure).
+The trace-family subcommands (``trace``/``timeline``/``critical-path``/
+``metrics``) share the same session knobs and flush their output even
+when the run fails mid-round (the partial timeline is exactly what you
+want for debugging that failure).
 """
 
 from __future__ import annotations
@@ -48,8 +57,13 @@ from .obs import (
     CountersRegistry,
     CriticalPathAnalyzer,
     JsonlTraceExporter,
+    MetricsRegistry,
     PerfettoExporter,
+    ResourceSampler,
+    RunManifest,
     SpanCollector,
+    compare_manifests,
+    render_openmetrics,
 )
 from .core.verification import PartitionCommitter
 from .ml import (
@@ -154,6 +168,31 @@ def build_parser() -> argparse.ArgumentParser:
                           help="slack (sim-seconds) within which a "
                                "participant counts as a straggler")
     add_trace_session_args(critical)
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="run a session and export aggregated metrics "
+             "(OpenMetrics text + JSON run manifest)",
+    )
+    metrics.add_argument("--output", default="-",
+                         help="OpenMetrics destination ('-' = stdout)")
+    metrics.add_argument("--manifest", default=None,
+                         help="also write a JSON run manifest here")
+    metrics.add_argument("--sample-interval", type=float, default=0.25,
+                         help="resource-sampler period (simulated "
+                              "seconds)")
+    add_trace_session_args(metrics)
+
+    compare = subparsers.add_parser(
+        "compare",
+        help="diff two run manifests; non-zero exit on regression",
+    )
+    compare.add_argument("baseline", help="baseline manifest JSON")
+    compare.add_argument("current", help="candidate manifest JSON")
+    compare.add_argument("--threshold", type=float, default=0.10,
+                         help="relative-change tolerance (0.10 = 10%%)")
+    compare.add_argument("--warn-only", action="store_true",
+                         help="report regressions but exit 0")
 
     reproduce = subparsers.add_parser(
         "reproduce",
@@ -410,6 +449,47 @@ def _run_critical_path(args) -> int:
     return _report_failure(failure)
 
 
+def _run_metrics(args) -> int:
+    session = _build_trace_session(args)
+    registry = MetricsRegistry(session.sim.bus)
+    sampler = ResourceSampler.for_session(
+        session, registry, interval=args.sample_interval
+    )
+    try:
+        failure = _run_rounds(session, args.rounds)
+    finally:
+        sampler.stop()
+        registry.close()
+    exposition = render_openmetrics(registry)
+    if args.output == "-":
+        sys.stdout.write(exposition)
+    else:
+        with open(args.output, "w", encoding="utf-8") as stream:
+            stream.write(exposition)
+    if args.manifest is not None:
+        manifest = RunManifest.collect(registry, session.fingerprint())
+        manifest.write(args.manifest)
+    observed = sum(h.count for h in registry.histograms().values())
+    print(f"{observed} observations across "
+          f"{sum(1 for h in registry.histograms().values() if h.count)} "
+          f"histograms, {sampler.samples_taken} resource samples"
+          + ("" if args.output == "-" else f" -> {args.output}")
+          + ("" if args.manifest is None
+             else f", manifest -> {args.manifest}"),
+          file=sys.stderr)
+    return _report_failure(failure)
+
+
+def _run_compare(args) -> int:
+    baseline = RunManifest.load(args.baseline)
+    current = RunManifest.load(args.current)
+    diff = compare_manifests(baseline, current, threshold=args.threshold)
+    print(diff.format())
+    if diff.has_regressions and not args.warn_only:
+        return 1
+    return 0
+
+
 def _run_reproduce(args) -> int:
     import pytest as pytest_module
     targets = {
@@ -453,6 +533,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_timeline(args)
     if args.command == "critical-path":
         return _run_critical_path(args)
+    if args.command == "metrics":
+        return _run_metrics(args)
+    if args.command == "compare":
+        return _run_compare(args)
     if args.command == "reproduce":
         return _run_reproduce(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -255,6 +255,29 @@ class FLSession:
             self.run_iteration()
         return self.metrics
 
+    # -- identity -----------------------------------------------------------------
+
+    def fingerprint(self) -> Dict[str, object]:
+        """A stable scenario description for run manifests.
+
+        Covers the protocol config plus the deployment shape (role
+        counts and the distinct link capacities), so two manifests
+        compare apples-to-apples only when their digests match.
+        """
+        from ..obs.manifest import config_fingerprint
+
+        capacities = sorted({
+            (host.up_bandwidth, host.down_bandwidth)
+            for host in self.testbed.network.hosts()
+        })
+        return config_fingerprint(
+            self.config,
+            trainers=len(self.trainers),
+            aggregators=len(self.aggregators),
+            ipfs_nodes=len(self.nodes),
+            link_capacities=capacities,
+        )
+
     # -- storage management --------------------------------------------------------
 
     def collect_garbage(self, keep_iterations: int = 1) -> float:

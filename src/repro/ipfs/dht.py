@@ -100,6 +100,7 @@ class DHT:
         ignores it (the Kademlia subclass charges its route).
         """
         self.lookups += 1
+        started = self.sim.now
         if self.lookup_delay > 0:
             yield self.sim.timeout(self.lookup_delay)
         names = self.providers_snapshot(cid)
@@ -110,6 +111,6 @@ class DHT:
         if bus.wants(DhtLookup):
             bus.publish(DhtLookup(
                 at=self.sim.now, querier=querier, cid=cid,
-                providers=len(names), hops=0,
+                providers=len(names), hops=0, started_at=started,
             ))
         return names

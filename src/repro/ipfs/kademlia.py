@@ -224,6 +224,7 @@ class KademliaDHT(DHT):
         """Resolve providers, charging the iterative route when a
         querier on the network is given."""
         self.lookups += 1
+        started = self.sim.now
         target = content_key(cid)
         if querier is not None and querier in self.tables:
             path = self.lookup_path(querier, target)
@@ -244,6 +245,6 @@ class KademliaDHT(DHT):
         if bus.wants(DhtLookup):
             bus.publish(DhtLookup(
                 at=self.sim.now, querier=querier, cid=cid,
-                providers=len(names), hops=len(path),
+                providers=len(names), hops=len(path), started_at=started,
             ))
         return names

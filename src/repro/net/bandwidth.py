@@ -131,6 +131,24 @@ class FlowScheduler:
         """Number of in-flight flows."""
         return len(self._flows)
 
+    def link_utilization(self) -> Dict[Link, float]:
+        """Instantaneous allocated-rate / capacity per busy link.
+
+        Only links crossed by at least one in-flight flow appear; links
+        of infinite capacity report 0.0.  Rates are the current max-min
+        allocation, so between scheduler events this is exact.
+        """
+        allocated: Dict[Link, float] = {}
+        for flow in self._flows:
+            rate = 0.0 if math.isinf(flow.rate) else flow.rate
+            for link in flow.links:
+                allocated[link] = allocated.get(link, 0.0) + rate
+        return {
+            link: (0.0 if math.isinf(link.capacity)
+                   else rate / link.capacity)
+            for link, rate in allocated.items()
+        }
+
     def start_flow(self, links: Tuple[Link, ...], size: float) -> Event:
         """Begin transferring ``size`` bytes across ``links``.
 

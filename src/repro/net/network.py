@@ -166,3 +166,12 @@ class Network:
     def active_transfers(self) -> int:
         """Number of transfers currently moving bytes."""
         return self._scheduler.active_flows
+
+    def link_utilization(self) -> Dict[str, float]:
+        """Instantaneous utilization of every link carrying traffic,
+        keyed by link name (``host/up``, ``host/down``)."""
+        return {
+            link.name: utilization
+            for link, utilization in
+            self._scheduler.link_utilization().items()
+        }

@@ -61,6 +61,15 @@ from .events import (
     VerificationFailed,
 )
 from .jsonl import JsonlTraceExporter
+from .manifest import (
+    DiffEntry,
+    ManifestDiff,
+    RunManifest,
+    compare_manifests,
+    config_fingerprint,
+)
+from .metrics import Histogram, MetricsRegistry, ResourceSampler, TimeSeries
+from .openmetrics import parse_openmetrics, render_openmetrics
 from .perfetto import PerfettoExporter
 from .spans import SPAN_EVENTS, Span, SpanCollector, SpanTree, \
     build_span_tree
@@ -76,17 +85,23 @@ __all__ = [
     "CriticalPathAnalyzer",
     "CriticalStep",
     "DhtLookup",
+    "DiffEntry",
     "DirectoryRequest",
     "Event",
     "EventBus",
+    "Histogram",
     "GradientRegistered",
     "GradientsAggregated",
     "IterationFinished",
     "IterationStarted",
     "JsonlTraceExporter",
+    "ManifestDiff",
+    "MetricsRegistry",
     "PROTOCOL_EVENTS",
     "PartialUpdateRegistered",
     "PerfettoExporter",
+    "ResourceSampler",
+    "RunManifest",
     "SPAN_EVENTS",
     "SnapshotSealed",
     "Span",
@@ -99,6 +114,7 @@ __all__ = [
     "SyncPhaseStarted",
     "TakeoverPerformed",
     "TelemetryCollector",
+    "TimeSeries",
     "TrainerCompleted",
     "TransferCompleted",
     "TransferStarted",
@@ -106,4 +122,8 @@ __all__ = [
     "UploadCompleted",
     "VerificationFailed",
     "build_span_tree",
+    "compare_manifests",
+    "config_fingerprint",
+    "parse_openmetrics",
+    "render_openmetrics",
 ]

@@ -125,6 +125,8 @@ class DhtLookup(Event):
 
     ``hops`` is the number of routing-table hops charged (0 for the
     flat table-model DHT, the greedy path length under Kademlia).
+    ``started_at`` is when the resolution began, so ``at - started_at``
+    is the lookup latency; None when the producer does not track it.
     """
 
     at: float
@@ -132,6 +134,7 @@ class DhtLookup(Event):
     cid: str
     providers: int
     hops: int
+    started_at: Optional[float] = None
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,468 @@
+"""Aggregated metrics over the event stream: the "shape of the run".
+
+Counters (:mod:`repro.obs.counters`) answer *how much*; this module
+answers *how distributed* and *over time*:
+
+- :class:`Histogram` — log-spaced buckets for OpenMetrics exposition
+  plus the raw observations, so p50/p95/p99 are exact (computed with
+  :func:`repro.analysis.stats.percentile`, not bucket interpolation).
+- :class:`TimeSeries` — a gauge sampled against the *simulated* clock,
+  optionally labelled (``net.link.utilization{link="trainer-0/up"}``).
+- :class:`MetricsRegistry` — an ordinary bus subscriber deriving
+  latency/size histograms from events the producers already publish:
+  transfer durations, DHT hops and latency, block sizes, upload /
+  collect / sync / publish phase times, commitment cost.
+- :class:`ResourceSampler` — a sim-clock probe recording per-link
+  utilization, active flows, blockstore occupancy and directory queue
+  depth into the registry's time series.
+
+Metric names extend the :class:`~repro.obs.counters.CountersRegistry`
+dotted scheme (``layer.metric``); the stable set is documented in
+``docs/OBSERVABILITY.md``.  The zero-subscriber overhead contract is
+unchanged: an unobserved run constructs neither a registry nor a
+sampler, so it pays exactly the same one-boolean-check per emission
+site as before (enforced by ``benchmarks/test_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..analysis.stats import percentile
+from .bus import EventBus
+from .counters import CountersRegistry
+from .events import (
+    BlockFetched,
+    CommitmentComputed,
+    DhtLookup,
+    GradientsAggregated,
+    SyncPhaseEnded,
+    TransferCompleted,
+    UpdateRegistered,
+    UploadCompleted,
+)
+
+__all__ = ["Histogram", "TimeSeries", "MetricsRegistry", "ResourceSampler"]
+
+#: Label key/value pairs, kept as a sorted tuple so series hash cleanly.
+Labels = Tuple[Tuple[str, str], ...]
+
+
+def _freeze_labels(labels: Dict[str, str]) -> Labels:
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Histogram:
+    """Log-spaced bucket histogram that also keeps exact observations.
+
+    Bucket upper bounds are ``lo * growth**k`` for ``k = 0, 1, ...``
+    until ``hi`` is covered; observations above the last bound land in
+    the implicit ``+Inf`` bucket, observations at or below ``lo`` in the
+    first.  The buckets exist for the OpenMetrics exposition (cumulative
+    ``le`` semantics); quantiles are computed from the raw values, so
+    they are exact rather than bucket-interpolated.
+    """
+
+    __slots__ = ("name", "unit", "bounds", "bucket_counts", "_values",
+                 "total", "minimum", "maximum")
+
+    def __init__(self, name: str, unit: str = "",
+                 lo: float = 1e-3, hi: float = 1e4, growth: float = 2.0):
+        if lo <= 0 or hi <= lo:
+            raise ValueError("need 0 < lo < hi")
+        if growth <= 1.0:
+            raise ValueError("growth must be > 1")
+        self.name = name
+        self.unit = unit
+        bounds: List[float] = [lo]
+        while bounds[-1] < hi:
+            bounds.append(bounds[-1] * growth)
+        self.bounds = bounds
+        #: Per-bucket (non-cumulative) counts; index ``len(bounds)`` is
+        #: the +Inf overflow bucket.
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self._values: List[float] = []
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    # -- recording ---------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self._values.append(value)
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        return len(self._values)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self._values) if self._values else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile of everything observed (0.0 if empty)."""
+        if not self._values:
+            return 0.0
+        return percentile(self._values, q)
+
+    def values(self) -> List[float]:
+        """A copy of the raw observations, in arrival order."""
+        return list(self._values)
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, OpenMetrics-style.
+
+        The final pair's bound is ``inf`` and its count equals
+        :attr:`count`.
+        """
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, bucket in zip(self.bounds, self.bucket_counts):
+            running += bucket
+            pairs.append((bound, running))
+        pairs.append((float("inf"), running + self.bucket_counts[-1]))
+        return pairs
+
+    def summary(self) -> Dict[str, float]:
+        """The digest the run manifest records."""
+        if not self._values:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def __repr__(self) -> str:
+        return f"<Histogram {self.name} n={self.count}>"
+
+
+class TimeSeries:
+    """A gauge sampled against the simulated clock."""
+
+    __slots__ = ("name", "labels", "samples")
+
+    def __init__(self, name: str, labels: Labels = ()):
+        self.name = name
+        self.labels = labels
+        #: ``(simulated_time, value)`` pairs in record order.
+        self.samples: List[Tuple[float, float]] = []
+
+    def record(self, at: float, value: float) -> None:
+        self.samples.append((float(at), float(value)))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def last(self) -> float:
+        return self.samples[-1][1] if self.samples else 0.0
+
+    def digest(self) -> Dict[str, float]:
+        """Count/min/max/mean/last digest for the run manifest."""
+        if not self.samples:
+            return {"count": 0}
+        values = [value for _, value in self.samples]
+        return {
+            "count": len(values),
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+            "last": values[-1],
+        }
+
+    def key(self) -> str:
+        """Stable display key: ``name{k=v,...}`` (plain name if unlabelled)."""
+        if not self.labels:
+            return self.name
+        inner = ",".join(f"{k}={v}" for k, v in self.labels)
+        return f"{self.name}{{{inner}}}"
+
+    def __repr__(self) -> str:
+        return f"<TimeSeries {self.key()} n={self.count}>"
+
+
+#: Bucket layouts by quantity kind (documented in docs/OBSERVABILITY.md).
+_SECONDS = dict(lo=1e-3, hi=1e4, growth=2.0)
+_BYTES = dict(lo=64.0, hi=1e9, growth=4.0)
+_COUNTS = dict(lo=1.0, hi=1024.0, growth=2.0)
+
+
+class MetricsRegistry:
+    """Latency/size histograms and resource series over bus events.
+
+    An ordinary subscriber — attach one to any run::
+
+        metrics = MetricsRegistry(session.sim.bus)
+        session.run(rounds=3)
+        print(metrics.histogram("net.transfer.duration").summary())
+
+    Owns a :class:`CountersRegistry` on the same bus unless one is
+    passed in, so a single ``close()`` detaches *everything* this
+    registry attached (the counters-detach regression is pinned by
+    ``tests/test_obs_exporters.py``).
+    """
+
+    def __init__(self, bus: EventBus,
+                 counters: Optional[CountersRegistry] = None):
+        self._owns_counters = counters is None
+        self.counters = counters if counters is not None \
+            else CountersRegistry(bus)
+        self._histograms: Dict[str, Histogram] = {}
+        for name, unit, layout in (
+            ("net.transfer.duration", "seconds", _SECONDS),
+            ("net.transfer.bytes", "bytes", _BYTES),
+            ("dht.lookup.hops", "hops", _COUNTS),
+            ("dht.lookup.latency", "seconds", _SECONDS),
+            ("ipfs.fetch.latency", "seconds", _SECONDS),
+            ("ipfs.block.bytes", "bytes", _BYTES),
+            ("protocol.upload.delay", "seconds", _SECONDS),
+            ("protocol.collect.duration", "seconds", _SECONDS),
+            ("protocol.publish.duration", "seconds", _SECONDS),
+            ("protocol.sync.duration", "seconds", _SECONDS),
+            ("protocol.commit.seconds", "seconds", _SECONDS),
+        ):
+            self._histograms[name] = Histogram(name, unit=unit, **layout)
+        self._series: Dict[Tuple[str, Labels], TimeSeries] = {}
+        self._dispatch = {
+            TransferCompleted: self._on_transfer,
+            DhtLookup: self._on_dht_lookup,
+            BlockFetched: self._on_block_fetched,
+            UploadCompleted: self._on_upload,
+            GradientsAggregated: self._on_aggregated,
+            UpdateRegistered: self._on_update,
+            SyncPhaseEnded: self._on_sync_ended,
+            CommitmentComputed: self._on_commitment,
+        }
+        self._subscription = bus.subscribe(
+            self._handle, *self._dispatch.keys()
+        )
+
+    def close(self) -> None:
+        """Detach every subscription this registry created."""
+        self._subscription.cancel()
+        if self._owns_counters:
+            self.counters.close()
+
+    def __enter__(self) -> "MetricsRegistry":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- access ------------------------------------------------------------------
+
+    def histogram(self, name: str) -> Histogram:
+        return self._histograms[name]
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def timeseries(self, name: str, **labels: str) -> TimeSeries:
+        """Get or create the series ``name`` with the given labels."""
+        key = (name, _freeze_labels(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = TimeSeries(name, key[1])
+            self._series[key] = series
+        return series
+
+    def series(self) -> List[TimeSeries]:
+        """All recorded series, sorted by display key."""
+        return sorted(self._series.values(), key=TimeSeries.key)
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Histogram summaries plus series digests, keyed by name."""
+        merged: Dict[str, Dict[str, float]] = {
+            name: histogram.summary()
+            for name, histogram in sorted(self._histograms.items())
+        }
+        for series in self.series():
+            merged[series.key()] = series.digest()
+        return merged
+
+    # -- event handlers ----------------------------------------------------------
+
+    def _handle(self, event) -> None:
+        self._dispatch[type(event)](event)
+
+    def _on_transfer(self, event) -> None:
+        self._histograms["net.transfer.duration"].observe(
+            event.at - event.started_at)
+        self._histograms["net.transfer.bytes"].observe(event.size)
+
+    def _on_dht_lookup(self, event) -> None:
+        self._histograms["dht.lookup.hops"].observe(event.hops)
+        if event.started_at is not None:
+            self._histograms["dht.lookup.latency"].observe(
+                event.at - event.started_at)
+
+    def _on_block_fetched(self, event) -> None:
+        self._histograms["ipfs.block.bytes"].observe(event.size)
+        if event.started_at is not None:
+            self._histograms["ipfs.fetch.latency"].observe(
+                event.at - event.started_at)
+
+    def _on_upload(self, event) -> None:
+        self._histograms["protocol.upload.delay"].observe(event.delay)
+
+    def _on_aggregated(self, event) -> None:
+        if event.started_at is not None:
+            self._histograms["protocol.collect.duration"].observe(
+                event.at - event.started_at)
+
+    def _on_update(self, event) -> None:
+        if event.started_at is not None:
+            self._histograms["protocol.publish.duration"].observe(
+                event.at - event.started_at)
+
+    def _on_sync_ended(self, event) -> None:
+        self._histograms["protocol.sync.duration"].observe(event.duration)
+
+    def _on_commitment(self, event) -> None:
+        self._histograms["protocol.commit.seconds"].observe(event.seconds)
+
+
+class ResourceSampler:
+    """Periodic sim-clock sampling of substrate state into a registry.
+
+    Every ``interval`` simulated seconds (and once immediately on
+    start) the sampler records:
+
+    - ``net.flows.active`` — in-flight transfer count;
+    - ``net.link.utilization{link=...}`` — allocated rate over capacity
+      for every link currently crossed by a flow (idle links are not
+      sampled, so the series measures utilization *while active*);
+    - ``ipfs.blockstore.bytes`` / ``ipfs.blockstore.objects`` — resident
+      storage across the given nodes, plus per-node
+      ``ipfs.blockstore.node.bytes{node=...}``;
+    - ``directory.queue.depth`` — requests waiting in the directory's
+      inbox.
+
+    The sampler is pull-based and opt-in: an unobserved run never
+    constructs one, so the zero-subscriber overhead contract holds — the
+    same reasoning as the ``bus.wants()`` guards at emission sites, with
+    construction standing in for subscription.  Wakeups are
+    epoch-validated (the :class:`~repro.net.bandwidth.FlowScheduler`
+    pattern), so :meth:`stop` leaves at most one stale no-op timeout on
+    the queue; stop the sampler before draining the simulator with
+    ``sim.run()`` or the rescheduling tick keeps the queue alive
+    forever.  ``session.run(...)`` / ``run_iteration()`` use
+    ``run_until`` and are safe with a live sampler.
+    """
+
+    def __init__(self, sim, registry: MetricsRegistry,
+                 interval: float = 1.0, network=None,
+                 nodes: Iterable = (), directory=None,
+                 autostart: bool = True):
+        if interval <= 0:
+            raise ValueError("sample interval must be positive")
+        self.sim = sim
+        self.registry = registry
+        self.interval = float(interval)
+        self.network = network
+        self.nodes = list(nodes)
+        self.directory = directory
+        self.samples_taken = 0
+        self.active = False
+        self._epoch = 0
+        if autostart:
+            self.start()
+
+    @classmethod
+    def for_session(cls, session, registry: MetricsRegistry,
+                    interval: float = 1.0,
+                    autostart: bool = True) -> "ResourceSampler":
+        """Wire a sampler to everything an :class:`FLSession` owns."""
+        return cls(
+            session.sim, registry, interval=interval,
+            network=session.testbed.network, nodes=session.nodes,
+            directory=session.directory, autostart=autostart,
+        )
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Sample immediately, then every :attr:`interval` sim-seconds."""
+        if self.active:
+            return
+        self.active = True
+        self.sample()
+        self._schedule()
+
+    def stop(self) -> None:
+        """Stop sampling; safe to call more than once."""
+        self.active = False
+        self._epoch += 1
+
+    # Alias so samplers read like the other obs resources.
+    close = stop
+
+    def __enter__(self) -> "ResourceSampler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- sampling ----------------------------------------------------------------
+
+    def sample(self) -> None:
+        """Take one sample at the current simulated instant."""
+        now = self.sim.now
+        registry = self.registry
+        self.samples_taken += 1
+        if self.network is not None:
+            registry.timeseries("net.flows.active").record(
+                now, self.network.active_transfers)
+            for link_name, utilization in \
+                    self.network.link_utilization().items():
+                registry.timeseries(
+                    "net.link.utilization", link=link_name
+                ).record(now, utilization)
+        if self.nodes:
+            total_bytes = 0.0
+            total_objects = 0
+            for node in self.nodes:
+                store = node.store
+                total_bytes += store.total_bytes
+                total_objects += len(store)
+                registry.timeseries(
+                    "ipfs.blockstore.node.bytes", node=node.name
+                ).record(now, store.total_bytes)
+            registry.timeseries("ipfs.blockstore.bytes").record(
+                now, total_bytes)
+            registry.timeseries("ipfs.blockstore.objects").record(
+                now, total_objects)
+        if self.directory is not None:
+            registry.timeseries("directory.queue.depth").record(
+                now, len(self.directory.endpoint.inbox.items))
+
+    # -- internals ---------------------------------------------------------------
+
+    def _schedule(self) -> None:
+        epoch = self._epoch
+        wakeup = self.sim.timeout(self.interval)
+        wakeup._add_callback(lambda _event: self._tick(epoch))
+
+    def _tick(self, epoch: int) -> None:
+        if not self.active or epoch != self._epoch:
+            return  # stopped (or restarted) since this wakeup was set
+        self.sample()
+        self._schedule()

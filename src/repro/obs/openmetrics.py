@@ -1,0 +1,193 @@
+"""OpenMetrics text exposition of a :class:`MetricsRegistry`.
+
+:func:`render_openmetrics` serializes counters, gauges, histograms and
+time series into the OpenMetrics text format (the Prometheus exposition
+dialect with a terminating ``# EOF``), so any standard scraper, promtool
+or dashboard can ingest a run:
+
+    # TYPE net_transfers counter
+    net_transfers_total 42
+    # TYPE net_transfer_duration histogram
+    net_transfer_duration_bucket{le="0.001"} 0
+    ...
+    net_transfer_duration_bucket{le="+Inf"} 42
+    net_transfer_duration_count 42
+    net_transfer_duration_sum 13.7
+    # EOF
+
+Mapping rules (documented in ``docs/OBSERVABILITY.md``):
+
+- dotted metric names become underscored (``net.bytes`` →
+  ``net_bytes``); any character outside ``[a-zA-Z0-9_:]`` is replaced;
+- counters gain the mandated ``_total`` suffix;
+- histograms expose cumulative ``le`` buckets plus ``_count``/``_sum``;
+- time series expose their **last** sample as a labelled gauge (the
+  full series lives in the run manifest's digests, not the exposition).
+
+:func:`parse_openmetrics` reads the same format back — enough for the
+round-trip test and for diffing expositions from other tools.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, List, NamedTuple, Tuple
+
+from .metrics import MetricsRegistry
+
+__all__ = ["render_openmetrics", "parse_openmetrics",
+           "MetricFamily", "Sample"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LINE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL_RE = re.compile(r'(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>[^"]*)"')
+
+
+def metric_name(dotted: str) -> str:
+    """An OpenMetrics-safe name for a dotted metric name."""
+    return _NAME_RE.sub("_", dotted)
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labelled(name: str, labels: Tuple[Tuple[str, str], ...]) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{metric_name(k)}="{_escape(v)}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+def render_openmetrics(registry: MetricsRegistry) -> str:
+    """The registry's current state as OpenMetrics text."""
+    lines: List[str] = []
+
+    for name, value in sorted(registry.counters.counters().items()):
+        safe = metric_name(name)
+        lines.append(f"# TYPE {safe} counter")
+        lines.append(f"{safe}_total {_format_value(value)}")
+
+    for name, value in sorted(registry.counters.gauges().items()):
+        safe = metric_name(name)
+        lines.append(f"# TYPE {safe} gauge")
+        lines.append(f"{safe} {_format_value(value)}")
+
+    for name, histogram in sorted(registry.histograms().items()):
+        safe = metric_name(name)
+        lines.append(f"# TYPE {safe} histogram")
+        if histogram.unit:
+            lines.append(f"# UNIT {safe} {histogram.unit}")
+        for bound, cumulative in histogram.cumulative_buckets():
+            le = "+Inf" if math.isinf(bound) else _format_value(bound)
+            lines.append(f'{safe}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{safe}_count {histogram.count}")
+        lines.append(f"{safe}_sum {_format_value(histogram.total)}")
+
+    seen_series = set()
+    for series in registry.series():
+        safe = metric_name(series.name)
+        if safe not in seen_series:
+            seen_series.add(safe)
+            lines.append(f"# TYPE {safe} gauge")
+        lines.append(
+            f"{_labelled(safe, series.labels)} {_format_value(series.last)}"
+        )
+
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+class Sample(NamedTuple):
+    """One exposition line: name (with suffix), labels, value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+class MetricFamily(NamedTuple):
+    """A ``# TYPE`` group and the samples under it."""
+
+    name: str
+    type: str
+    samples: List[Sample]
+
+    def value(self, suffix: str = "", **labels: str) -> float:
+        """The value of the sample ``name+suffix`` with exactly ``labels``."""
+        wanted = self.name + suffix
+        for sample in self.samples:
+            if sample.name == wanted and sample.labels == labels:
+                return sample.value
+        raise KeyError(f"no sample {wanted!r} with labels {labels!r}")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    return float(text)
+
+
+def parse_openmetrics(text: str) -> Dict[str, MetricFamily]:
+    """Parse OpenMetrics text into families keyed by metric name.
+
+    Supports the subset :func:`render_openmetrics` emits (``# TYPE``,
+    ``# UNIT``, samples with optional labels, ``# EOF``); raises
+    ``ValueError`` on lines that match none of these.
+    """
+    families: Dict[str, MetricFamily] = {}
+    current: MetricFamily = None
+    saw_eof = False
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if saw_eof:
+            raise ValueError(f"line {line_number}: content after # EOF")
+        if line == "# EOF":
+            saw_eof = True
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, family_type = rest.partition(" ")
+            current = MetricFamily(name=name, type=family_type.strip(),
+                                   samples=[])
+            families[name] = current
+            continue
+        if line.startswith("# UNIT ") or line.startswith("# HELP "):
+            continue
+        if line.startswith("#"):
+            continue  # comments are legal exposition content
+        match = _LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {line_number}: unparseable: {raw!r}")
+        labels = {
+            m.group("key"): m.group("value")
+            for m in _LABEL_RE.finditer(match.group("labels") or "")
+        }
+        sample = Sample(name=match.group("name"), labels=labels,
+                        value=_parse_value(match.group("value")))
+        if current is None or not sample.name.startswith(current.name):
+            # A sample with no preceding TYPE: give it its own family.
+            current = MetricFamily(name=sample.name, type="untyped",
+                                   samples=[])
+            families[sample.name] = current
+        current.samples.append(sample)
+    if not saw_eof:
+        raise ValueError("missing # EOF terminator")
+    return families

@@ -145,6 +145,45 @@ def test_counters_manual_api_and_snapshot():
     assert counters.get("protocol.trainers_completed") == 0.0
 
 
+def test_counters_close_detaches_every_subscription():
+    """Regression pin for the counters lifecycle: ``close()`` must
+    detach the registry's one-and-only subscription, after which the
+    bus reports inactive and no event mutates the registry."""
+    bus = EventBus()
+    counters = CountersRegistry(bus)
+    assert bus.active
+    bus.publish(TrainerCompleted(at=0.0, iteration=0, trainer="t"))
+    counters.close()
+    assert not bus.active
+    before = counters.snapshot()
+    bus.publish(TrainerCompleted(at=1.0, iteration=0, trainer="t"))
+    bus.publish(TransferCompleted(at=1.0, src="a", dst="b", size=9.0,
+                                  started_at=0.0))
+    assert counters.snapshot() == before
+    counters.close()  # idempotent
+    assert counters.get("protocol.trainers_completed") == 1
+
+
+def test_two_counters_registries_never_double_count():
+    """Two registries on one bus each see every event exactly once,
+    and closing one leaves the other recording."""
+    bus = EventBus()
+    first = CountersRegistry(bus)
+    second = CountersRegistry(bus)
+    bus.publish(TransferCompleted(at=1.0, src="a", dst="b", size=100.0,
+                                  started_at=0.0))
+    assert first.get("net.transfers") == 1
+    assert second.get("net.transfers") == 1
+    first.close()
+    assert bus.active  # second is still attached
+    bus.publish(TransferCompleted(at=2.0, src="a", dst="b", size=100.0,
+                                  started_at=1.0))
+    assert first.get("net.transfers") == 1
+    assert second.get("net.transfers") == 2
+    second.close()
+    assert not bus.active
+
+
 # -- TransferTrace on the bus (satellite: detach-order regression) ---------------
 
 
