@@ -13,7 +13,11 @@ machinery itself well below 5%.
 The metrics layer rides the same bus, so its cost is budgeted here too:
 a run with a :class:`~repro.obs.MetricsRegistry` *and* a quarter-second
 :class:`~repro.obs.ResourceSampler` attached on top of telemetry must
-stay within 10% of the bare (unobserved) run.
+stay within 10% of the bare (unobserved) run.  Likewise the audit
+stack: a run with the :class:`~repro.obs.InvariantMonitors` and
+:class:`~repro.obs.FlightRecorder` attached on top of telemetry (the
+``python -m repro.cli audit`` configuration) gets the same 10% budget
+and must, of course, find nothing on an honest run.
 """
 
 import time
@@ -23,14 +27,20 @@ from _helpers import dummy_datasets, save_table
 from repro.analysis import format_table
 from repro.core import FLSession, ProtocolConfig
 from repro.ml import SyntheticModel
-from repro.obs import MetricsRegistry, ResourceSampler
+from repro.obs import (
+    FlightRecorder,
+    InvariantMonitors,
+    MetricsRegistry,
+    ResourceSampler,
+)
 
 NUM_TRAINERS = 16
 PARTITION_PARAMS = 162_500  # ~1.3 MB of float64, as in Fig. 1
 ROUNDS = 2
-REPEATS = 5
+REPEATS = 7  # best-of; raised from 5 when the audit variant joined
 MAX_OVERHEAD = 0.05
 MAX_METRICS_OVERHEAD = 0.10
+MAX_MONITORS_OVERHEAD = 0.10
 SAMPLE_INTERVAL = 0.25
 
 
@@ -86,30 +96,55 @@ def _one_metrics_run() -> float:
     return elapsed
 
 
+def _one_monitors_run() -> float:
+    """Wall-clock seconds with the audit stack attached: telemetry +
+    flight recorder + invariant monitors (the ``cli audit`` wiring)."""
+    session = _make_session()
+    recorder = FlightRecorder(session.sim.bus)
+    monitors = InvariantMonitors(session.sim.bus)
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        session.run_iteration()
+    elapsed = time.perf_counter() - started
+    session.collect_garbage(keep_iterations=1)
+    violations = monitors.finalize()
+    recorder.close()
+    assert violations == [], f"honest Fig. 1 run not clean: {violations}"
+    assert recorder.incidents == []
+    return elapsed
+
+
 def test_unobserved_run_pays_no_instrumentation_tax():
     # Interleave the variants and compare best-of: per-run noise on
     # a shared machine dwarfs the effect under test, while the minimum
     # of each variant converges on its true cost.
-    observed_runs, unobserved_runs, metrics_runs = [], [], []
+    observed_runs, unobserved_runs = [], []
+    metrics_runs, monitors_runs = [], []
     for _ in range(REPEATS):
         observed_runs.append(_one_run(observed=True))
         unobserved_runs.append(_one_run(observed=False))
         metrics_runs.append(_one_metrics_run())
+        monitors_runs.append(_one_monitors_run())
     observed = min(observed_runs)
     unobserved = min(unobserved_runs)
     with_metrics = min(metrics_runs)
+    with_monitors = min(monitors_runs)
     overhead = unobserved / observed - 1.0
     metrics_overhead = with_metrics / unobserved - 1.0
+    monitors_overhead = with_monitors / unobserved - 1.0
     save_table("obs_overhead", format_table(
         ["variant", "wall-clock (s)"],
         [
             ["observed (telemetry subscribed)", observed],
             ["unobserved (no subscribers)", unobserved],
             ["metrics (registry + 0.25 s sampler)", with_metrics],
+            ["audit (monitors + flight recorder)", with_monitors],
             ["bus overhead (unobserved vs observed)",
              f"{overhead * 100:+.1f}%"],
             ["metrics overhead (vs unobserved)",
              f"{metrics_overhead * 100:+.1f}%"],
+            ["audit overhead (vs unobserved)",
+             f"{monitors_overhead * 100:+.1f}%"],
         ],
         title=f"{NUM_TRAINERS} trainers, {ROUNDS} rounds, Fig. 1 config",
     ))
@@ -120,6 +155,10 @@ def test_unobserved_run_pays_no_instrumentation_tax():
     assert with_metrics <= unobserved * (1.0 + MAX_METRICS_OVERHEAD), (
         f"metrics-attached run {with_metrics:.3f}s exceeds bare "
         f"{unobserved:.3f}s by more than {MAX_METRICS_OVERHEAD:.0%}"
+    )
+    assert with_monitors <= unobserved * (1.0 + MAX_MONITORS_OVERHEAD), (
+        f"audit-attached run {with_monitors:.3f}s exceeds bare "
+        f"{unobserved:.3f}s by more than {MAX_MONITORS_OVERHEAD:.0%}"
     )
 
 

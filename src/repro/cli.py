@@ -34,6 +34,16 @@ Subcommands
     Diff two run manifests with a relative-change threshold; exits
     non-zero when a metric regressed (use ``--warn-only`` in advisory
     contexts like a new CI baseline).
+``audit``
+    Run a session with the invariant monitors and flight recorder
+    attached; print every invariant violation and sealed incident and
+    exit non-zero when any fired (``--warn-only`` to report without
+    failing).  ``--inject`` seeds a misbehaving aggregator to prove the
+    pipeline catches it.
+``incidents``
+    Run a seeded-adversary session and write each sealed incident
+    bundle (event window, span chain, blame report, Perfetto slice) as
+    JSON — the forensics artifact a failed audit would leave behind.
 
 The trace-family subcommands (``trace``/``timeline``/``critical-path``/
 ``metrics``) share the same session knobs and flush their output even
@@ -52,10 +62,18 @@ import numpy as np
 
 from .analysis import format_table, optimal_providers
 from .core import FLSession, ProtocolConfig
+from .core.adversary import (
+    AlterUpdateBehavior,
+    DropGradientsBehavior,
+    LazyBehavior,
+    ReplayUpdateBehavior,
+)
 from .crypto import sha256
 from .obs import (
     CountersRegistry,
     CriticalPathAnalyzer,
+    FlightRecorder,
+    InvariantMonitors,
     JsonlTraceExporter,
     MetricsRegistry,
     PerfettoExporter,
@@ -80,6 +98,15 @@ from .ml import (
 from .net import mbps, megabytes
 
 __all__ = ["main", "build_parser"]
+
+#: ``--inject`` choices: seeded aggregator misbehaviours (fresh
+#: instance per run — behaviours keep per-round state).
+_INJECTABLE = {
+    "drop": lambda: DropGradientsBehavior(keep_fraction=0.5),
+    "alter": lambda: AlterUpdateBehavior(offset=1.0),
+    "lazy": lambda: LazyBehavior(),
+    "replay": lambda: ReplayUpdateBehavior(),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -193,6 +220,40 @@ def build_parser() -> argparse.ArgumentParser:
                          help="relative-change tolerance (0.10 = 10%%)")
     compare.add_argument("--warn-only", action="store_true",
                          help="report regressions but exit 0")
+
+    audit = subparsers.add_parser(
+        "audit",
+        help="run a session under the invariant monitors and flight "
+             "recorder; non-zero exit on any violation or incident",
+    )
+    add_trace_session_args(audit)
+    audit.add_argument("--providers", type=int, default=0,
+                       help="providers per aggregator with "
+                            "--merge-and-download (0 = sqrt optimum)")
+    audit.add_argument("--inject", choices=sorted(_INJECTABLE),
+                       default=None,
+                       help="seed aggregator-0 with a misbehaviour "
+                            "(forces --verifiable; 'replay' runs the "
+                            "logistic model over real data, since the "
+                            "synthetic model's constant gradients make "
+                            "a replayed aggregate value-identical)")
+    audit.add_argument("--warn-only", action="store_true",
+                       help="report violations/incidents but exit 0")
+    audit.add_argument("--incidents-dir", default=None,
+                       help="also write sealed incident bundles (JSON) "
+                            "into this directory")
+
+    incidents = subparsers.add_parser(
+        "incidents",
+        help="run a seeded-adversary session and write its incident "
+             "bundles as JSON",
+    )
+    add_trace_session_args(incidents)
+    incidents.add_argument("--inject", choices=sorted(_INJECTABLE),
+                           default="drop",
+                           help="the misbehaviour to seed (see audit)")
+    incidents.add_argument("--output-dir", default="incidents",
+                           help="directory for the bundle JSON files")
 
     reproduce = subparsers.add_parser(
         "reproduce",
@@ -342,8 +403,14 @@ def _run_commit_cost(args) -> int:
 # -- trace / timeline / critical-path ----------------------------------------------
 
 
-def _build_trace_session(args) -> FLSession:
-    """The shared session the trace-family subcommands run."""
+def _build_trace_session(args, behaviors=None, model_factory=None,
+                         datasets=None) -> FLSession:
+    """The shared session the trace-family subcommands run.
+
+    ``behaviors``/``model_factory``/``datasets`` let the audit-family
+    subcommands seed adversaries or swap in a real model; the
+    trace-family callers use the synthetic defaults.
+    """
     config = ProtocolConfig(
         num_partitions=args.partitions,
         aggregators_per_partition=args.aggregators_per_partition,
@@ -353,18 +420,23 @@ def _build_trace_session(args) -> FLSession:
         poll_interval=0.25,
         verifiable=args.verifiable,
         merge_and_download=args.merge_and_download,
+        providers_per_aggregator=getattr(args, "providers", 0),
         seed=args.seed,
     )
-    shards = [
-        Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
-        for index in range(args.trainers)
-    ]
+    if datasets is None:
+        datasets = [
+            Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
+            for index in range(args.trainers)
+        ]
+    if model_factory is None:
+        model_factory = lambda: SyntheticModel(args.params)  # noqa: E731
     return FLSession(
         config,
-        model_factory=lambda: SyntheticModel(args.params),
-        datasets=shards,
+        model_factory=model_factory,
+        datasets=datasets,
         num_ipfs_nodes=args.ipfs_nodes,
         bandwidth_mbps=args.bandwidth_mbps,
+        behaviors=behaviors,
     )
 
 
@@ -480,6 +552,104 @@ def _run_metrics(args) -> int:
     return _report_failure(failure)
 
 
+# -- audit / incidents -------------------------------------------------------------
+
+
+def _audit_session(args):
+    """Build the (session, rounds) pair for audit-family subcommands,
+    applying the ``--inject`` adjustments."""
+    behaviors = None
+    model_factory = None
+    datasets = None
+    rounds = args.rounds
+    if args.inject is not None:
+        behaviors = {"aggregator-0": _INJECTABLE[args.inject]()}
+        if not args.verifiable:
+            args.verifiable = True  # detection needs commitments
+            print("--inject forces --verifiable", file=sys.stderr)
+        if args.inject == "replay":
+            # A replayed aggregate is only distinguishable when the
+            # gradients change between rounds; the synthetic model's
+            # are constant, so run the logistic model on real data.
+            data = make_classification(
+                num_samples=200, num_features=8,
+                class_separation=3.0, seed=args.seed,
+            )
+            datasets = split_iid(data, args.trainers, seed=args.seed)
+            model_factory = lambda: LogisticRegression(  # noqa: E731
+                num_features=8, num_classes=2, seed=0)
+            if rounds < 2:
+                rounds = 2  # round 0 has nothing to replay
+                print("--inject replay needs 2 rounds; running 2",
+                      file=sys.stderr)
+    session = _build_trace_session(
+        args, behaviors=behaviors, model_factory=model_factory,
+        datasets=datasets,
+    )
+    return session, rounds
+
+
+def _write_bundles(incidents, directory: str) -> List[str]:
+    import os
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for index, bundle in enumerate(incidents):
+        name = (f"incident-{index:02d}-i{bundle.iteration}"
+                f"-{bundle.kind}.json")
+        path = os.path.join(directory, name)
+        bundle.write(path)
+        paths.append(path)
+    return paths
+
+
+def _run_audit(args) -> int:
+    session, rounds = _audit_session(args)
+    # The recorder subscribes first so its ring already holds the
+    # triggering event when a monitor's InvariantViolated arrives.
+    recorder = FlightRecorder(session.sim.bus)
+    monitors = InvariantMonitors(session.sim.bus)
+    failure = _run_rounds(session, rounds)
+    violations = monitors.finalize()  # runs end-of-run leak checks too
+    recorder.close()
+    for violation in violations:
+        print(f"VIOLATION [{violation.invariant}] {violation.subject}: "
+              f"{violation.detail}")
+    for bundle in recorder.incidents:
+        print(bundle.summary())
+    if recorder.suppressed:
+        print(f"({recorder.suppressed} further incident(s) suppressed)")
+    if args.incidents_dir and recorder.incidents:
+        for path in _write_bundles(recorder.incidents, args.incidents_dir):
+            print(f"bundle -> {path}", file=sys.stderr)
+    clean = not violations and not recorder.incidents
+    print("audit clean" if clean else
+          f"audit FAILED: {len(violations)} violation(s), "
+          f"{len(recorder.incidents)} incident(s)")
+    status = _report_failure(failure)
+    if status:
+        return status
+    if not clean and not args.warn_only:
+        return 1
+    return 0
+
+
+def _run_incidents(args) -> int:
+    session, rounds = _audit_session(args)
+    recorder = FlightRecorder(session.sim.bus)
+    monitors = InvariantMonitors(session.sim.bus)
+    failure = _run_rounds(session, rounds)
+    monitors.finalize()
+    recorder.close()
+    if not recorder.incidents:
+        print("no incidents sealed (nothing misbehaved?)")
+        return _report_failure(failure)
+    for bundle in recorder.incidents:
+        print(bundle.summary())
+    for path in _write_bundles(recorder.incidents, args.output_dir):
+        print(f"bundle -> {path}")
+    return _report_failure(failure)
+
+
 def _run_compare(args) -> int:
     baseline = RunManifest.load(args.baseline)
     current = RunManifest.load(args.current)
@@ -537,6 +707,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_metrics(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "audit":
+        return _run_audit(args)
+    if args.command == "incidents":
+        return _run_incidents(args)
     if args.command == "reproduce":
         return _run_reproduce(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -424,6 +424,10 @@ class Aggregator:
                         label=(f"partial_update/p{self.partition_id}"
                                f"/i{schedule.iteration}/{peer}"),
                         scope="partial_update",
+                        partition_id=self.partition_id,
+                        aggregator=peer,
+                        reason="partial update does not open the peer's "
+                               "accumulated commitment",
                     ))
             elif self.sim.now >= takeover_at:
                 # Grace expired: cover the silent peers' trainer sets.

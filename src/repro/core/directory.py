@@ -20,8 +20,10 @@ from ..crypto import Commitment
 from ..ipfs import CID, DHT, IPFSClient
 from ..net import Message, Transport
 from ..obs.events import (
+    CommitmentAccumulated,
     DirectoryRequest,
     GradientRegistered,
+    UpdateVerified,
     VerificationFailed,
 )
 from ..sim import Simulator
@@ -310,6 +312,7 @@ class DirectoryService:
                 at=self.sim.now, iteration=address.iteration,
                 uploader=address.uploader_id,
                 partition_id=address.partition_id,
+                cid=str(cid),
             ))
         if commitment is None:
             return True
@@ -326,6 +329,16 @@ class DirectoryService:
         aggregator_id = self.trainer_assignment.get(
             (address.uploader_id, address.partition_id)
         )
+        if bus.wants(CommitmentAccumulated):
+            bus.publish(CommitmentAccumulated(
+                at=self.sim.now, iteration=address.iteration,
+                partition_id=address.partition_id,
+                uploader=address.uploader_id,
+                aggregator=aggregator_id,
+                commitment=commitment,
+                accumulated=accumulator.total,
+                count=accumulator.count,
+            ))
         if aggregator_id is not None:
             curve = self.committers[address.partition_id].curve
             current = accumulator.per_aggregator.get(
@@ -350,6 +363,9 @@ class DirectoryService:
             bus.publish(VerificationFailed(
                 at=self.sim.now, iteration=entry.address.iteration,
                 label=str(entry.address), scope="update",
+                partition_id=entry.address.partition_id,
+                aggregator=entry.address.uploader_id,
+                reason=reason,
             ))
 
     def _verify_update(self, entry: DirectoryEntry):
@@ -367,7 +383,21 @@ class DirectoryService:
             self._reject(entry, f"update retrieval failed: {exc}")
             return
         committer = self.committers[address.partition_id]
-        if committer.verify_blob(blob, expected):
+        claimed, claimed_counter = committer.open_blob(blob)
+        ok = claimed == expected
+        bus = self.sim.bus
+        if bus.wants(UpdateVerified):
+            bus.publish(UpdateVerified(
+                at=self.sim.now, iteration=address.iteration,
+                partition_id=address.partition_id,
+                aggregator=address.uploader_id,
+                ok=ok, expected_count=count,
+                claimed_counter=claimed_counter,
+                expected_commitment=expected,
+                claimed_commitment=claimed,
+                cid=str(entry.cid),
+            ))
+        if ok:
             entry.verified = True
         else:
             self._reject(

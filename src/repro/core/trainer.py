@@ -274,6 +274,9 @@ class Trainer:
                         label=(f"trainer-rejected/p{partition_id}"
                                f"/i{schedule.iteration}/{self.name}"),
                         scope="trainer",
+                        partition_id=partition_id,
+                        reason="downloaded update does not open the "
+                               "accumulated commitment",
                     ))
                 return
             values, counter = decode_partition(blob)

@@ -68,13 +68,25 @@ class PartitionCommitter:
 
     # -- verifier side ----------------------------------------------------------------
 
-    def commitment_of_blob(self, blob: bytes) -> Commitment:
-        """Recompute the commitment that binds an encoded partition."""
+    def open_blob(self, blob: bytes) -> Tuple[Commitment, float]:
+        """Recompute ``(commitment, averaging counter)`` of a blob.
+
+        One decode pass serves both the equality check and the audit
+        trail: the counter is the number of gradients summed into the
+        blob, which is exactly the signal forensics needs to tell a
+        dropped/lazy aggregate (counter < contributors) from an altered
+        one (counter intact, commitment mismatched).
+        """
         values, counter = decode_partition(blob)
         scalars = self.codec.encode(values) + [
             self.codec.encode_value(counter)
         ]
-        return self.params.commit(scalars)
+        return self.params.commit(scalars), float(counter)
+
+    def commitment_of_blob(self, blob: bytes) -> Commitment:
+        """Recompute the commitment that binds an encoded partition."""
+        commitment, _counter = self.open_blob(blob)
+        return commitment
 
     def verify_blob(self, blob: bytes, expected: Commitment) -> bool:
         """Does ``blob`` open ``expected``?  The directory's check on

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set
 
+from ..obs.events import BlockEvicted
 from .block import Block
 from .cid import CID
 
@@ -17,12 +18,20 @@ class Blockstore:
     the FL protocol pins gradients/updates only for the iterations that
     still need them and unpins afterwards (the paper: data are "only
     needed for a short period of time").
+
+    ``sim``/``owner`` let garbage collection report evictions on the
+    simulation's event bus; both default to unset so standalone stores
+    (unit tests, tooling) work without a simulator.
+    :class:`~repro.ipfs.node.IPFSNode` binds them at construction.
     """
 
-    def __init__(self, capacity_bytes: float = float("inf")):
+    def __init__(self, capacity_bytes: float = float("inf"),
+                 sim=None, owner: str = ""):
         if capacity_bytes <= 0:
             raise ValueError("capacity must be positive")
         self.capacity_bytes = capacity_bytes
+        self.sim = sim
+        self.owner = owner
         self._blocks: Dict[CID, Block] = {}
         self._pins: Set[CID] = set()
         self.total_bytes = 0
@@ -74,7 +83,14 @@ class Blockstore:
     def collect_garbage(self) -> List[CID]:
         """Drop every unpinned block; returns the CIDs removed."""
         removed = [cid for cid in self._blocks if cid not in self._pins]
+        sim = self.sim
+        emit = sim is not None and sim.bus.wants(BlockEvicted)
         for cid in removed:
-            self.total_bytes -= self._blocks[cid].size
+            size = self._blocks[cid].size
+            self.total_bytes -= size
             del self._blocks[cid]
+            if emit:
+                sim.bus.publish(BlockEvicted(
+                    at=sim.now, node=self.owner, cid=cid, size=size,
+                ))
         return removed

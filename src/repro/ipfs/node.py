@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional, Sequence
 
 from ..net import Endpoint, Message, Transport
-from ..obs.events import BlockFetched, BlockStored
+from ..obs.events import BlockFetched, BlockStored, MergeServed
 from ..sim import Simulator
 from .block import Block, DEFAULT_CHUNK_SIZE, chunk_object, parse_manifest, reassemble
 from .blockstore import Blockstore
@@ -62,6 +62,10 @@ class IPFSNode:
         self.dht = dht
         self.name = name
         self.store = blockstore or Blockstore()
+        if self.store.sim is None:
+            # Bind the store to this node so GC evictions reach the bus.
+            self.store.sim = sim
+            self.store.owner = name
         self.chunk_size = chunk_size
         self.online = True
         self.corrupt = False
@@ -240,6 +244,14 @@ class IPFSNode:
             )
             return
         merged = self._maybe_corrupt(merged)
+        bus = self.sim.bus
+        if bus.wants(MergeServed):
+            # The consumed source objects: a merge is the only read those
+            # blocks ever see, so leak monitors count them as fetched.
+            bus.publish(MergeServed(
+                at=self.sim.now, node=self.name,
+                cids=tuple(request["cids"]), size=len(merged),
+            ))
         yield self.endpoint.respond(
             message, KIND_MERGE_DATA,
             payload={"data": merged, "count": len(blobs)},

@@ -20,6 +20,14 @@ and aggregators — publish small typed events
   (``python -m repro.cli timeline`` / ``critical-path``).
 - :class:`~repro.net.trace.TransferTrace` — flow records, now a thin
   subscriber over ``TransferStarted``/``TransferCompleted``.
+- :class:`InvariantMonitors` — online protocol invariants (byte
+  conservation, commitment-accumulator consistency, protocol ordering,
+  blockstore leaks); violations re-enter the bus as
+  :class:`InvariantViolated` events (``python -m repro.cli audit``).
+- :class:`FlightRecorder` — bounded ring-buffer forensics; seals an
+  :class:`IncidentBundle` (event window, span chain, blame report,
+  Perfetto slice) on ``VerificationFailed``/``InvariantViolated``
+  (``python -m repro.cli incidents``).
 
 The bus is zero-overhead when unsubscribed: emission sites guard event
 construction behind :meth:`EventBus.wants`, so unobserved runs pay one
@@ -36,17 +44,21 @@ from .critical_path import (
     StragglerReport,
 )
 from .events import (
+    BlockEvicted,
     BlockFetched,
     BlockStored,
     BytesReceived,
+    CommitmentAccumulated,
     CommitmentComputed,
     DhtLookup,
     DirectoryRequest,
     Event,
     GradientRegistered,
     GradientsAggregated,
+    InvariantViolated,
     IterationFinished,
     IterationStarted,
+    MergeServed,
     PROTOCOL_EVENTS,
     PartialUpdateRegistered,
     SnapshotSealed,
@@ -57,9 +69,11 @@ from .events import (
     TransferCompleted,
     TransferStarted,
     UpdateRegistered,
+    UpdateVerified,
     UploadCompleted,
     VerificationFailed,
 )
+from .forensics import BlameReport, FlightRecorder, IncidentBundle
 from .jsonl import JsonlTraceExporter
 from .manifest import (
     DiffEntry,
@@ -69,6 +83,7 @@ from .manifest import (
     config_fingerprint,
 )
 from .metrics import Histogram, MetricsRegistry, ResourceSampler, TimeSeries
+from .monitors import InvariantMonitors
 from .openmetrics import parse_openmetrics, render_openmetrics
 from .perfetto import PerfettoExporter
 from .spans import SPAN_EVENTS, Span, SpanCollector, SpanTree, \
@@ -76,9 +91,12 @@ from .spans import SPAN_EVENTS, Span, SpanCollector, SpanTree, \
 from .telemetry import TelemetryCollector
 
 __all__ = [
+    "BlameReport",
+    "BlockEvicted",
     "BlockFetched",
     "BlockStored",
     "BytesReceived",
+    "CommitmentAccumulated",
     "CommitmentComputed",
     "CountersRegistry",
     "CriticalPath",
@@ -89,13 +107,18 @@ __all__ = [
     "DirectoryRequest",
     "Event",
     "EventBus",
+    "FlightRecorder",
     "Histogram",
     "GradientRegistered",
     "GradientsAggregated",
+    "IncidentBundle",
+    "InvariantMonitors",
+    "InvariantViolated",
     "IterationFinished",
     "IterationStarted",
     "JsonlTraceExporter",
     "ManifestDiff",
+    "MergeServed",
     "MetricsRegistry",
     "PROTOCOL_EVENTS",
     "PartialUpdateRegistered",
@@ -119,6 +142,7 @@ __all__ = [
     "TransferCompleted",
     "TransferStarted",
     "UpdateRegistered",
+    "UpdateVerified",
     "UploadCompleted",
     "VerificationFailed",
     "build_span_tree",

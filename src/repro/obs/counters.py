@@ -19,17 +19,23 @@ from typing import Dict
 
 from .bus import EventBus
 from .events import (
+    BlockEvicted,
     BlockFetched,
     BlockStored,
+    CommitmentAccumulated,
     DhtLookup,
     DirectoryRequest,
     GradientRegistered,
+    InvariantViolated,
     IterationFinished,
+    MergeServed,
     PartialUpdateRegistered,
+    SnapshotSealed,
     TakeoverPerformed,
     TrainerCompleted,
     TransferCompleted,
     UpdateRegistered,
+    UpdateVerified,
     VerificationFailed,
 )
 
@@ -39,22 +45,41 @@ __all__ = ["CountersRegistry"]
 class CountersRegistry:
     """Monotonic counters plus last-value gauges over bus events."""
 
+    #: Event type -> handler method name.  Class-level so coverage
+    #: tooling can ask which events this registry maps without
+    #: instantiating a bus (see ``handled_event_types``).
+    _HANDLERS = {
+        TransferCompleted: "_on_transfer",
+        BlockStored: "_on_block_stored",
+        BlockFetched: "_on_block_fetched",
+        BlockEvicted: "_on_block_evicted",
+        MergeServed: "_on_merge_served",
+        DhtLookup: "_on_dht_lookup",
+        DirectoryRequest: "_on_directory_request",
+        GradientRegistered: "_on_gradient",
+        CommitmentAccumulated: "_on_commitment_accumulated",
+        PartialUpdateRegistered: "_on_partial",
+        UpdateRegistered: "_on_update",
+        UpdateVerified: "_on_update_verified",
+        VerificationFailed: "_on_verification_failed",
+        InvariantViolated: "_on_invariant_violated",
+        TakeoverPerformed: "_on_takeover",
+        TrainerCompleted: "_on_trainer_completed",
+        IterationFinished: "_on_iteration_finished",
+        SnapshotSealed: "_on_snapshot_sealed",
+    }
+
+    @classmethod
+    def handled_event_types(cls):
+        """The event types this registry maps to counters."""
+        return tuple(cls._HANDLERS)
+
     def __init__(self, bus: EventBus):
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._dispatch = {
-            TransferCompleted: self._on_transfer,
-            BlockStored: self._on_block_stored,
-            BlockFetched: self._on_block_fetched,
-            DhtLookup: self._on_dht_lookup,
-            DirectoryRequest: self._on_directory_request,
-            GradientRegistered: self._on_gradient,
-            PartialUpdateRegistered: self._on_partial,
-            UpdateRegistered: self._on_update,
-            VerificationFailed: self._on_verification_failed,
-            TakeoverPerformed: self._on_takeover,
-            TrainerCompleted: self._on_trainer_completed,
-            IterationFinished: self._on_iteration_finished,
+            event_type: getattr(self, method)
+            for event_type, method in self._HANDLERS.items()
         }
         self._subscription = bus.subscribe(
             self._handle, *self._dispatch.keys()
@@ -109,6 +134,14 @@ class CountersRegistry:
         self.increment("ipfs.fetches")
         self.increment("ipfs.bytes_fetched", event.size)
 
+    def _on_block_evicted(self, event) -> None:
+        self.increment("ipfs.blocks_evicted")
+        self.increment("ipfs.bytes_evicted", event.size)
+
+    def _on_merge_served(self, event) -> None:
+        self.increment("ipfs.merges_served")
+        self.increment("ipfs.bytes_merged", event.size)
+
     def _on_dht_lookup(self, event) -> None:
         self.increment("dht.lookups")
         self.increment("dht.hops", event.hops)
@@ -121,15 +154,30 @@ class CountersRegistry:
     def _on_gradient(self, event) -> None:
         self.increment("protocol.gradients_registered")
 
+    def _on_commitment_accumulated(self, event) -> None:
+        self.increment("protocol.commitments_accumulated")
+
     def _on_partial(self, event) -> None:
         self.increment("protocol.partial_updates_registered")
 
     def _on_update(self, event) -> None:
         self.increment("protocol.updates_registered")
 
+    def _on_update_verified(self, event) -> None:
+        self.increment("protocol.updates_verified")
+        if not event.ok:
+            self.increment("protocol.updates_rejected")
+
     def _on_verification_failed(self, event) -> None:
         self.increment("protocol.verification_failures")
         self.increment(f"protocol.verification_failures.{event.scope}")
+
+    def _on_invariant_violated(self, event) -> None:
+        self.increment("obs.invariant_violations")
+        self.increment(f"obs.invariant_violations.{event.invariant}")
+
+    def _on_snapshot_sealed(self, event) -> None:
+        self.increment("protocol.snapshots_sealed")
 
     def _on_takeover(self, event) -> None:
         self.increment("protocol.takeovers")

@@ -54,10 +54,15 @@ __all__ = [
     "SyncPhaseStarted",
     "SyncPhaseEnded",
     "CommitmentComputed",
+    "CommitmentAccumulated",
+    "UpdateVerified",
     "VerificationFailed",
     "TrainerCompleted",
     "TakeoverPerformed",
     "SnapshotSealed",
+    "MergeServed",
+    "BlockEvicted",
+    "InvariantViolated",
     "PROTOCOL_EVENTS",
 ]
 
@@ -145,6 +150,31 @@ class DirectoryRequest(Event):
     kind: str
 
 
+@dataclass(frozen=True)
+class MergeServed(Event):
+    """A storage node pre-aggregated objects for a merge-and-download.
+
+    ``cids`` are the consumed source objects (Sec. III-E: the client
+    never fetches them individually, so this is the only record that
+    those blocks were read).
+    """
+
+    at: float
+    node: str
+    cids: tuple
+    size: int
+
+
+@dataclass(frozen=True)
+class BlockEvicted(Event):
+    """Garbage collection removed an unpinned block from a blockstore."""
+
+    at: float
+    node: str
+    cid: str
+    size: int
+
+
 # -- protocol events ---------------------------------------------------------------
 
 
@@ -173,12 +203,18 @@ class IterationFinished(Event):
 
 @dataclass(frozen=True)
 class GradientRegistered(Event):
-    """A gradient record was accepted (before the cutoff)."""
+    """A gradient record was accepted (before the cutoff).
+
+    ``cid`` is the registered content identifier (stringified), stamped
+    so forensics can name the exact blob a misbehaving aggregator
+    dropped; None when the producer does not stamp it.
+    """
 
     at: float
     iteration: int
     uploader: str
     partition_id: int
+    cid: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -280,18 +316,72 @@ class CommitmentComputed(Event):
 
 
 @dataclass(frozen=True)
+class CommitmentAccumulated(Event):
+    """The directory folded a gradient commitment into its accumulator.
+
+    ``commitment`` is the contribution just folded in; ``accumulated``
+    and ``count`` are the partition's running product and contributor
+    count *after* folding.  ``aggregator`` is the aggregator assigned to
+    the uploading trainer (None when the assignment is unknown).  The
+    values are :class:`~repro.crypto.Commitment` instances — monitors
+    recompute the product independently and compare.
+    """
+
+    at: float
+    iteration: int
+    partition_id: int
+    uploader: str
+    aggregator: Optional[str]
+    commitment: object
+    accumulated: object
+    count: int
+
+
+@dataclass(frozen=True)
+class UpdateVerified(Event):
+    """The directory checked a claimed global update's commitment.
+
+    Emitted for *both* outcomes (``ok``); a failing check is followed by
+    a :class:`VerificationFailed`.  ``expected_count`` is the number of
+    accumulated gradient contributions, ``claimed_counter`` the
+    averaging counter decoded from the claimed blob — a mismatch
+    between the two is the dropped/lazy signature.  The commitment
+    fields carry :class:`~repro.crypto.Commitment` values for forensic
+    cross-checking (e.g. against the previous round's accumulator, the
+    replay signature).
+    """
+
+    at: float
+    iteration: int
+    partition_id: int
+    aggregator: str
+    ok: bool
+    expected_count: int
+    claimed_counter: float
+    expected_commitment: Optional[object] = None
+    claimed_commitment: Optional[object] = None
+    cid: Optional[str] = None
+
+
+@dataclass(frozen=True)
 class VerificationFailed(Event):
     """A commitment check failed somewhere in the protocol.
 
     ``scope`` names the checkpoint: ``"update"`` (directory-side global
-    update check), ``"partial"`` (aggregator-side peer partial check) or
-    ``"trainer"`` (trainer-side delegated check).
+    update check), ``"partial_update"`` (aggregator-side peer partial
+    check) or ``"trainer"`` (trainer-side delegated check).
+    ``partition_id``/``aggregator``/``reason`` localize the failure
+    (the accused party is the update's uploader for ``"update"``, the
+    silent/faulty peer for ``"partial_update"``; None when unknown).
     """
 
     at: float
     iteration: int
     label: str
     scope: str
+    partition_id: int = -1
+    aggregator: Optional[str] = None
+    reason: str = ""
 
 
 @dataclass(frozen=True)
@@ -323,6 +413,26 @@ class SnapshotSealed(Event):
     partition_id: int
     node: str
     cid: str
+
+
+@dataclass(frozen=True)
+class InvariantViolated(Event):
+    """An online invariant monitor caught a protocol-level inconsistency.
+
+    Published by :class:`~repro.obs.monitors.InvariantMonitors` (never by
+    producers), so counters/metrics/forensics pick violations up like any
+    other event.  ``invariant`` is the catalog name (see
+    ``docs/OBSERVABILITY.md``), ``subject`` the offending node/object and
+    ``detail`` a human-readable explanation.  ``iteration`` is -1 when
+    the violation is not attributable to a round (e.g. end-of-session
+    leak checks).
+    """
+
+    at: float
+    iteration: int
+    invariant: str
+    subject: str
+    detail: str
 
 
 #: The iteration-scoped events :class:`~repro.obs.telemetry

@@ -220,6 +220,24 @@ class MetricsRegistry:
     ``tests/test_obs_exporters.py``).
     """
 
+    #: Event type -> handler method name (class-level for coverage
+    #: tooling; see ``handled_event_types``).
+    _HANDLERS = {
+        TransferCompleted: "_on_transfer",
+        DhtLookup: "_on_dht_lookup",
+        BlockFetched: "_on_block_fetched",
+        UploadCompleted: "_on_upload",
+        GradientsAggregated: "_on_aggregated",
+        UpdateRegistered: "_on_update",
+        SyncPhaseEnded: "_on_sync_ended",
+        CommitmentComputed: "_on_commitment",
+    }
+
+    @classmethod
+    def handled_event_types(cls):
+        """The event types this registry folds into histograms."""
+        return tuple(cls._HANDLERS)
+
     def __init__(self, bus: EventBus,
                  counters: Optional[CountersRegistry] = None):
         self._owns_counters = counters is None
@@ -242,14 +260,8 @@ class MetricsRegistry:
             self._histograms[name] = Histogram(name, unit=unit, **layout)
         self._series: Dict[Tuple[str, Labels], TimeSeries] = {}
         self._dispatch = {
-            TransferCompleted: self._on_transfer,
-            DhtLookup: self._on_dht_lookup,
-            BlockFetched: self._on_block_fetched,
-            UploadCompleted: self._on_upload,
-            GradientsAggregated: self._on_aggregated,
-            UpdateRegistered: self._on_update,
-            SyncPhaseEnded: self._on_sync_ended,
-            CommitmentComputed: self._on_commitment,
+            event_type: getattr(self, method)
+            for event_type, method in self._HANDLERS.items()
         }
         self._subscription = bus.subscribe(
             self._handle, *self._dispatch.keys()

@@ -116,3 +116,60 @@ def test_critical_path_prints_the_decomposition(capsys):
     assert "upload" in out and "publish_update" in out
     assert "stragglers (threshold 0.100 s)" in out
     assert "<-- straggler" in out
+
+
+# -- audit / incidents -------------------------------------------------------------
+
+AUDIT_SESSION = [
+    "--trainers", "4", "--rounds", "1", "--partitions", "1",
+    "--ipfs-nodes", "4", "--params", "64",
+]
+
+
+def test_audit_honest_run_exits_zero(capsys):
+    code = main(["audit"] + AUDIT_SESSION + ["--verifiable"])
+    assert code == 0
+    assert "audit clean" in capsys.readouterr().out
+
+
+def test_audit_injected_drop_exits_nonzero(tmp_path, capsys):
+    code = main(["audit"] + AUDIT_SESSION
+                + ["--inject", "drop", "--incidents-dir", str(tmp_path)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "audit FAILED" in out
+    assert "classification: dropped" in out
+    assert "aggregator-0" in out
+    assert list(tmp_path.glob("incident-*.json"))
+
+
+def test_audit_warn_only_reports_but_exits_zero(capsys):
+    code = main(["audit"] + AUDIT_SESSION
+                + ["--inject", "drop", "--warn-only"])
+    assert code == 0
+    assert "audit FAILED" in capsys.readouterr().out
+
+
+def test_audit_inject_forces_verifiable(capsys):
+    # No --verifiable on the command line; detection still works.
+    code = main(["audit"] + AUDIT_SESSION + ["--inject", "lazy",
+                                             "--warn-only"])
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "forces --verifiable" in captured.err
+    assert "classification: lazy" in captured.out
+
+
+def test_incidents_writes_loadable_bundles(tmp_path, capsys):
+    import json
+    out_dir = tmp_path / "inc"
+    code = main(["incidents"] + AUDIT_SESSION
+                + ["--inject", "drop", "--output-dir", str(out_dir)])
+    assert code == 0
+    bundles = sorted(out_dir.glob("incident-*.json"))
+    assert bundles
+    loaded = json.loads(bundles[0].read_text())
+    assert loaded["blame"]["classification"] == "dropped"
+    assert loaded["blame"]["aggregator"] == "aggregator-0"
+    assert "trainer-2" in loaded["blame"]["dropped_trainers"]
+    assert "bundle ->" in capsys.readouterr().out
