@@ -14,7 +14,7 @@ Run:  python examples/aggregator_dropout.py
 
 import numpy as np
 
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import (
     LogisticRegression,
     local_update,
@@ -43,7 +43,8 @@ def main():
                                   num_classes=2, seed=0)
 
     session = FLSession(config, factory, shards,
-                        num_ipfs_nodes=4, bandwidth_mbps=10.0)
+                        network=NetworkProfile(num_ipfs_nodes=4,
+                                               bandwidth_mbps=10.0))
 
     dead = session.aggregators.pop(0)  # this aggregator never shows up
     partition = session.assignment.partition_of[dead.name]

@@ -17,11 +17,8 @@ Run:  python examples/cross_device_deployment.py
 
 import numpy as np
 
-from repro.core import (
-    AlterUpdateBehavior,
-    FLSession,
-    ProtocolConfig,
-)
+from repro import FLSession, NetworkProfile, ProtocolConfig
+from repro.core import AlterUpdateBehavior
 from repro.ml import (
     LogisticRegression,
     TrainConfig,
@@ -64,11 +61,13 @@ def main():
         model_factory=lambda: LogisticRegression(
             num_features=NUM_FEATURES, num_classes=4, seed=0),
         datasets=shards,
-        num_ipfs_nodes=8,
-        bandwidth_mbps=10.0,
-        trainer_bandwidths_mbps=bandwidths,
-        dht_mode="kademlia",
-        replication_factor=2,
+        network=NetworkProfile(
+            num_ipfs_nodes=8,
+            bandwidth_mbps=10.0,
+            trainer_bandwidths_mbps=bandwidths,
+            dht_mode="kademlia",
+            replication_factor=2,
+        ),
         behaviors={"aggregator-1": AlterUpdateBehavior(offset=2.0)},
     )
 

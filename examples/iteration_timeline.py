@@ -17,7 +17,7 @@ Run:  python examples/iteration_timeline.py
 
 from collections import defaultdict
 
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import LogisticRegression, make_classification, split_iid
 from repro.net import TransferTrace
 from repro.obs import CriticalPathAnalyzer, SpanCollector
@@ -43,8 +43,7 @@ def main():
         config,
         model_factory=lambda: LogisticRegression(num_features=64, seed=0),
         datasets=shards,
-        num_ipfs_nodes=4,
-        bandwidth_mbps=10.0,
+        network=NetworkProfile(num_ipfs_nodes=4, bandwidth_mbps=10.0),
     )
     trace = TransferTrace(session.testbed.network)
     spans = SpanCollector(session.sim.bus)

@@ -12,7 +12,7 @@ Run:  python examples/kademlia_routing.py
 
 import numpy as np
 
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ipfs import KademliaDHT, compute_cid, node_key, xor_distance
 from repro.ipfs.kademlia import content_key
 from repro.ml import LogisticRegression, make_classification, split_iid
@@ -51,8 +51,7 @@ def protocol_demo():
             model_factory=lambda: LogisticRegression(num_features=10,
                                                      seed=0),
             datasets=shards,
-            num_ipfs_nodes=16,
-            dht_mode=mode,
+            network=NetworkProfile(num_ipfs_nodes=16, dht_mode=mode),
         )
         metrics = session.run_iteration()
         rpcs = getattr(session.dht, "rpcs", 0)

@@ -17,7 +17,7 @@ from repro.analysis import (
     format_table,
     optimal_providers,
 )
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import Dataset, SyntheticModel
 from repro.net import mbps, megabytes
 
@@ -47,8 +47,8 @@ def run_once(providers: int):
         config,
         model_factory=lambda: SyntheticModel(PARTITION_PARAMS),
         datasets=delay_shards(),
-        num_ipfs_nodes=max(PROVIDER_COUNTS),
-        bandwidth_mbps=BANDWIDTH_MBPS,
+        network=NetworkProfile(num_ipfs_nodes=max(PROVIDER_COUNTS),
+                               bandwidth_mbps=BANDWIDTH_MBPS),
     )
     return session.run_iteration()
 

@@ -14,7 +14,7 @@ Run:  python examples/metrics_report.py
 
 import numpy as np
 
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import Dataset, SyntheticModel
 from repro.obs import (
     MetricsRegistry,
@@ -47,8 +47,7 @@ def run_session(providers_per_aggregator: int) -> RunManifest:
         config,
         model_factory=lambda: SyntheticModel(PARTITION_PARAMS),
         datasets=shards,
-        num_ipfs_nodes=8,
-        bandwidth_mbps=10.0,
+        network=NetworkProfile(num_ipfs_nodes=8, bandwidth_mbps=10.0),
     )
     registry = MetricsRegistry(session.sim.bus)
     sampler = ResourceSampler.for_session(session, registry, interval=0.25)

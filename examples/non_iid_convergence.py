@@ -14,7 +14,7 @@ Run:  python examples/non_iid_convergence.py
 import numpy as np
 
 from repro.baselines import CentralizedSession
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import (
     MLPClassifier,
     TrainConfig,
@@ -55,7 +55,8 @@ def main():
                              num_classes=4, seed=0)
 
     ours = FLSession(build_config(), factory, shards,
-                     num_ipfs_nodes=8, bandwidth_mbps=20.0)
+                     network=NetworkProfile(num_ipfs_nodes=8,
+                                            bandwidth_mbps=20.0))
     central = CentralizedSession(build_config(), factory, shards,
                                  bandwidth_mbps=20.0)
 

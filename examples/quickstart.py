@@ -8,7 +8,7 @@ and prints the telemetry the paper's evaluation reports.
 Run:  python examples/quickstart.py
 """
 
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import (
     LogisticRegression,
     TrainConfig,
@@ -43,8 +43,7 @@ def main():
         model_factory=lambda: LogisticRegression(num_features=16,
                                                  num_classes=2, seed=0),
         datasets=shards,
-        num_ipfs_nodes=8,
-        bandwidth_mbps=10.0,
+        network=NetworkProfile(num_ipfs_nodes=8, bandwidth_mbps=10.0),
     )
 
     print(f"deployment: {len(shards)} trainers, "

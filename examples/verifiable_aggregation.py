@@ -15,11 +15,8 @@ Run:  python examples/verifiable_aggregation.py
 
 import numpy as np
 
-from repro.core import (
-    AlterUpdateBehavior,
-    FLSession,
-    ProtocolConfig,
-)
+from repro import FLSession, NetworkProfile, ProtocolConfig
+from repro.core import AlterUpdateBehavior
 from repro.ml import LogisticRegression, make_classification, split_iid
 
 NUM_TRAINERS = 8
@@ -46,8 +43,7 @@ def build_session(verifiable: bool, malicious: bool):
         model_factory=lambda: LogisticRegression(
             num_features=NUM_FEATURES, num_classes=2, seed=0),
         datasets=shards,
-        num_ipfs_nodes=4,
-        bandwidth_mbps=10.0,
+        network=NetworkProfile(num_ipfs_nodes=4, bandwidth_mbps=10.0),
         behaviors=behaviors,
     )
 

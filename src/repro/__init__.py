@@ -6,6 +6,10 @@ A decentralized federated-learning system where participants communicate
 aggregation via homomorphic Pedersen vector commitments and the
 merge-and-download provider-side pre-aggregation optimization.
 
+The primary entry points live right here::
+
+    from repro import FLSession, ProtocolConfig, NetworkProfile, FaultPlan
+
 Subpackages
 -----------
 - :mod:`repro.sim` — discrete-event simulation kernel.
@@ -17,12 +21,15 @@ Subpackages
 - :mod:`repro.ml` — models, federated datasets, local training, FedAvg.
 - :mod:`repro.core` — the protocol: directory service, trainers,
   aggregators, bootstrapper, verification, adversaries, sessions.
+- :mod:`repro.faults` — deterministic fault injection and churn.
+- :mod:`repro.obs` — typed event bus, telemetry, counters, monitors,
+  flight recorder, run manifests.
 - :mod:`repro.baselines` — IPLS-direct, centralized FL, blockchain FL.
 - :mod:`repro.analysis` — analytic delay/provider models and result tables.
 
 Quickstart
 ----------
->>> from repro.core import FLSession, ProtocolConfig
+>>> from repro import FLSession, NetworkProfile, ProtocolConfig
 >>> from repro.ml import LogisticRegression, make_classification, split_iid
 >>> data = make_classification(num_samples=320, num_features=10)
 >>> shards = split_iid(data, 4)
@@ -30,10 +37,50 @@ Quickstart
 ...     ProtocolConfig(num_partitions=2, t_train=300, t_sync=900),
 ...     model_factory=lambda: LogisticRegression(num_features=10),
 ...     datasets=shards,
+...     network=NetworkProfile(bandwidth_mbps=10.0),
 ... )
 >>> _ = session.run(rounds=1)
 """
 
+from .core import FLSession, ProtocolConfig
+from .core.telemetry import IterationMetrics, SessionMetrics
+from .faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryExhaustedError,
+    RetryPolicy,
+)
+from .net import NetworkProfile
+from .obs import (
+    CountersRegistry,
+    EventBus,
+    FlightRecorder,
+    InvariantMonitors,
+    MetricsRegistry,
+    RunManifest,
+    TelemetryCollector,
+)
+
 __version__ = "1.0.0"
 
-__all__ = ["__version__"]
+__all__ = [
+    "CountersRegistry",
+    "EventBus",
+    "FLSession",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "FlightRecorder",
+    "InvariantMonitors",
+    "IterationMetrics",
+    "MetricsRegistry",
+    "NetworkProfile",
+    "ProtocolConfig",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "RunManifest",
+    "SessionMetrics",
+    "TelemetryCollector",
+    "__version__",
+]

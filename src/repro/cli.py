@@ -44,6 +44,13 @@ Subcommands
     Run a seeded-adversary session and write each sealed incident
     bundle (event window, span chain, blame report, Perfetto slice) as
     JSON — the forensics artifact a failed audit would leave behind.
+``chaos``
+    Run a session under a deterministic fault plan (crashes, link
+    outages, directory brown-outs, message loss — see docs/FAULTS.md)
+    with the invariant monitors and flight recorder attached; exit
+    non-zero when the surviving trainers fail to converge or any
+    invariant fired.  Without ``--plan`` it is the honest-infrastructure
+    control run (pair with ``--forbid-retry-exhausted`` in CI).
 
 The trace-family subcommands (``trace``/``timeline``/``critical-path``/
 ``metrics``) share the same session knobs and flush their output even
@@ -69,6 +76,7 @@ from .core.adversary import (
     ReplayUpdateBehavior,
 )
 from .crypto import sha256
+from .faults import FaultPlan, RetryPolicy
 from .obs import (
     CountersRegistry,
     CriticalPathAnalyzer,
@@ -95,7 +103,7 @@ from .ml import (
     split_iid,
     train_test_split,
 )
-from .net import mbps, megabytes
+from .net import NetworkProfile, mbps, megabytes
 
 __all__ = ["main", "build_parser"]
 
@@ -255,6 +263,35 @@ def build_parser() -> argparse.ArgumentParser:
     incidents.add_argument("--output-dir", default="incidents",
                            help="directory for the bundle JSON files")
 
+    chaos = subparsers.add_parser(
+        "chaos",
+        help="run a session under a fault plan with the monitors and "
+             "flight recorder attached; non-zero exit on "
+             "non-convergence or any invariant violation",
+    )
+    add_trace_session_args(chaos)
+    chaos.add_argument("--plan", default=None,
+                       help="fault plan file (JSON always; YAML when "
+                            "PyYAML is importable); omit for the "
+                            "honest-infrastructure control run")
+    chaos.add_argument("--request-timeout", type=float, default=5.0,
+                       help="per-attempt directory request timeout in "
+                            "simulated seconds (default 5.0)")
+    chaos.add_argument("--manifest", default=None,
+                       help="write a JSON run manifest here (two runs "
+                            "of the same seeded plan produce identical "
+                            "manifests)")
+    chaos.add_argument("--incidents-dir", default=None,
+                       help="write sealed incident bundles (JSON) into "
+                            "this directory")
+    chaos.add_argument("--forbid-retry-exhausted", action="store_true",
+                       help="fail if any retry budget was exhausted "
+                            "(the CI control-run tripwire: honest "
+                            "infrastructure must never exhaust "
+                            "retries)")
+    chaos.add_argument("--warn-only", action="store_true",
+                       help="report problems but exit 0")
+
     reproduce = subparsers.add_parser(
         "reproduce",
         help="run the paper-figure benchmarks (writes tables under "
@@ -298,8 +335,8 @@ def _run_train(args) -> int:
         model_factory=lambda: LogisticRegression(
             num_features=args.features, num_classes=2, seed=0),
         datasets=shards,
-        num_ipfs_nodes=args.ipfs_nodes,
-        bandwidth_mbps=args.bandwidth_mbps,
+        network=NetworkProfile(num_ipfs_nodes=args.ipfs_nodes,
+                               bandwidth_mbps=args.bandwidth_mbps),
     )
     print(f"{args.trainers} trainers, {args.partitions} partitions x "
           f"{args.aggregators_per_partition} aggregators, "
@@ -351,8 +388,8 @@ def _run_providers_sweep(args) -> int:
             config,
             model_factory=lambda: SyntheticModel(partition_params),
             datasets=shards,
-            num_ipfs_nodes=max(args.providers),
-            bandwidth_mbps=args.bandwidth_mbps,
+            network=NetworkProfile(num_ipfs_nodes=max(args.providers),
+                                   bandwidth_mbps=args.bandwidth_mbps),
         )
         metrics = session.run_iteration()
         rows.append([
@@ -404,12 +441,15 @@ def _run_commit_cost(args) -> int:
 
 
 def _build_trace_session(args, behaviors=None, model_factory=None,
-                         datasets=None) -> FLSession:
+                         datasets=None, faults=None) -> FLSession:
     """The shared session the trace-family subcommands run.
 
     ``behaviors``/``model_factory``/``datasets`` let the audit-family
     subcommands seed adversaries or swap in a real model; the
-    trace-family callers use the synthetic defaults.
+    trace-family callers use the synthetic defaults.  ``faults`` is the
+    chaos subcommand's :class:`~repro.faults.FaultPlan`; chaos also
+    defines ``args.request_timeout``, which bounds directory requests
+    and turns on the shared retry policy even for its control run.
     """
     config = ProtocolConfig(
         num_partitions=args.partitions,
@@ -430,12 +470,19 @@ def _build_trace_session(args, behaviors=None, model_factory=None,
         ]
     if model_factory is None:
         model_factory = lambda: SyntheticModel(args.params)  # noqa: E731
+    request_timeout = getattr(args, "request_timeout", None)
+    profile = NetworkProfile(
+        num_ipfs_nodes=args.ipfs_nodes,
+        bandwidth_mbps=args.bandwidth_mbps,
+        directory_request_timeout=request_timeout,
+        retry=RetryPolicy() if request_timeout is not None else None,
+    )
     return FLSession(
         config,
         model_factory=model_factory,
         datasets=datasets,
-        num_ipfs_nodes=args.ipfs_nodes,
-        bandwidth_mbps=args.bandwidth_mbps,
+        network=profile,
+        faults=faults,
         behaviors=behaviors,
     )
 
@@ -650,6 +697,87 @@ def _run_incidents(args) -> int:
     return _report_failure(failure)
 
 
+# -- chaos ---------------------------------------------------------------------------
+
+
+def _run_chaos(args) -> int:
+    plan = FaultPlan.load(args.plan) if args.plan else FaultPlan()
+    session = _build_trace_session(args, faults=plan)
+    recorder = FlightRecorder(session.sim.bus)
+    monitors = InvariantMonitors(session.sim.bus)
+    counters = CountersRegistry(session.sim.bus)
+    registry = MetricsRegistry(session.sim.bus) if args.manifest else None
+    failure = _run_rounds(session, args.rounds)
+    if failure is None:
+        # Evict every finished round's objects first, so the end-of-run
+        # leak check only flags storage the protocol truly abandoned
+        # (a crashed trainer's orphaned upload is reclaimed by GC, not
+        # a leak).
+        session.collect_garbage(keep_iterations=0)
+    violations = monitors.finalize()
+    recorder.close()
+    if registry is not None:
+        registry.close()
+        manifest = RunManifest.collect(registry, session.fingerprint())
+        manifest.write(args.manifest)
+        print(f"manifest -> {args.manifest}", file=sys.stderr)
+    snapshot = counters.snapshot()
+
+    problems: List[str] = []
+    final = (session.metrics.iterations[-1]
+             if session.metrics.iterations else None)
+    survivors = list(final.trainers_completed) if final is not None else []
+    if not survivors:
+        problems.append("no trainer completed the final round")
+    else:
+        by_name = {trainer.name: trainer for trainer in session.trainers}
+        reference = by_name[survivors[0]].model.get_params()
+        diverged = [
+            name for name in survivors[1:]
+            if not np.allclose(by_name[name].model.get_params(),
+                               reference, atol=1e-9)
+        ]
+        if diverged:
+            problems.append("surviving trainers diverged: "
+                            + ", ".join(diverged))
+    retries_exhausted = int(snapshot.get("protocol.retries_exhausted", 0))
+    if args.forbid_retry_exhausted and retries_exhausted:
+        problems.append(f"{retries_exhausted} retry budget(s) exhausted "
+                        "on a run that forbids it")
+    if violations:
+        problems.append(f"{len(violations)} invariant violation(s)")
+
+    for violation in violations:
+        print(f"VIOLATION [{violation.invariant}] {violation.subject}: "
+              f"{violation.detail}")
+    for bundle in recorder.incidents:
+        print(bundle.summary())
+    if args.incidents_dir and recorder.incidents:
+        for path in _write_bundles(recorder.incidents, args.incidents_dir):
+            print(f"bundle -> {path}", file=sys.stderr)
+    print(f"plan: {len(plan)} spec(s) (seed {plan.seed}), "
+          f"{int(snapshot.get('faults.injected', 0))} injected, "
+          f"{int(snapshot.get('faults.healed', 0))} healed; "
+          f"{int(snapshot.get('protocol.participants_degraded', 0))} "
+          f"participant-round(s) degraded, "
+          f"{int(snapshot.get('net.transfers_aborted', 0))} transfer(s) "
+          f"aborted, {retries_exhausted} retry budget(s) exhausted")
+    if survivors:
+        print(f"{len(survivors)}/{len(session.trainers)} trainers "
+              f"completed the final round in consensus"
+              if not problems else
+              f"{len(survivors)}/{len(session.trainers)} trainers "
+              f"completed the final round")
+    print("chaos clean" if not problems
+          else "chaos FAILED: " + "; ".join(problems))
+    status = _report_failure(failure)
+    if status:
+        return status
+    if problems and not args.warn_only:
+        return 1
+    return 0
+
+
 def _run_compare(args) -> int:
     baseline = RunManifest.load(args.baseline)
     current = RunManifest.load(args.current)
@@ -711,6 +839,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_audit(args)
     if args.command == "incidents":
         return _run_incidents(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     if args.command == "reproduce":
         return _run_reproduce(args)
     raise AssertionError(f"unhandled command {args.command!r}")

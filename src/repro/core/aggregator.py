@@ -25,6 +25,7 @@ from typing import Dict, List, Optional, Set
 import numpy as np
 
 from ..crypto import Commitment
+from ..faults.retry import RetryExhaustedError, RetryPolicy
 from ..ipfs import DHT, IPFSClient, IPFSError, PubSub
 from ..net import Transport
 from ..obs.events import (
@@ -37,7 +38,7 @@ from ..obs.events import (
     UpdateRegistered,
     VerificationFailed,
 )
-from ..sim import Simulator
+from ..sim import Interrupt, Simulator
 from .addressing import Address, GRADIENT, PARTIAL_UPDATE, UPDATE
 from .adversary import AggregatorBehavior, HonestBehavior
 from .bootstrapper import Assignment
@@ -73,6 +74,9 @@ class Aggregator:
         partition_len: int = 0,
         committer: Optional[PartitionCommitter] = None,
         behavior: Optional[AggregatorBehavior] = None,
+        retry: Optional[RetryPolicy] = None,
+        directory_request_timeout: Optional[float] = None,
+        ipfs_request_timeout: float = 120.0,
     ):
         self.name = name
         self.sim = sim
@@ -87,10 +91,32 @@ class Aggregator:
             assignment.trainers_of[(self.partition_id, name)]
         )
         self.ipfs = IPFSClient(name, transport, dht,
-                               chunk_size=config.chunk_size)
-        self.directory = DirectoryClient(name, transport)
+                               request_timeout=ipfs_request_timeout,
+                               chunk_size=config.chunk_size,
+                               retry=retry)
+        self.directory = DirectoryClient(
+            name, transport, retry=retry,
+            request_timeout=directory_request_timeout,
+        )
         self.cost_model = CommitmentCostModel(config.commit_seconds_per_param)
         self.dht = dht
+        #: Child processes of the current round (download fan-out).
+        self.active_children: List = []
+        self._child_errors: List[Exception] = []
+
+    def _spawn(self, generator, name: str):
+        """Spawn a guarded child process (see ``Trainer._spawn``)."""
+        process = self.sim.process(self._guard(generator), name=name)
+        self.active_children.append(process)
+        return process
+
+    def _guard(self, generator):
+        try:
+            yield from generator
+        except Interrupt:
+            pass
+        except RetryExhaustedError as exc:
+            self._child_errors.append(exc)
 
     @property
     def _upload_node(self) -> str:
@@ -142,7 +168,7 @@ class Aggregator:
                 pending.discard(row["uploader_id"])
                 rows_by_trainer[row["uploader_id"]] = row
                 if not self.config.merge_and_download:
-                    download_procs.append(self.sim.process(
+                    download_procs.append(self._spawn(
                         download(row),
                         name=f"{self.name}:dl:{row['uploader_id']}",
                     ))
@@ -165,6 +191,8 @@ class Aggregator:
 
         if download_procs:
             yield self.sim.all_of(download_procs)
+        if self._child_errors:
+            raise self._child_errors[0]
         return blobs, rows_by_trainer
 
     def _merge_download(self, rows: List[dict]):
@@ -207,12 +235,14 @@ class Aggregator:
                 results[node] = sum_encoded_partitions(blobs)
 
         procs = [
-            self.sim.process(fetch_group(node, group),
-                             name=f"{self.name}:merge:{node}")
+            self._spawn(fetch_group(node, group),
+                        name=f"{self.name}:merge:{node}")
             for node, group in groups.items()
         ]
         if procs:
             yield self.sim.all_of(procs)
+        if self._child_errors:
+            raise self._child_errors[0]
         # Keyed by provider node, so select_gradients (the adversary hook)
         # still sees per-source entries.
         return dict(results)
@@ -277,6 +307,8 @@ class Aggregator:
         takeovers, rejections) as :mod:`repro.obs` events on ``sim.bus``.
         """
         bus = self.sim.bus
+        self.active_children = []
+        self._child_errors = []
         peers = self.assignment.peers_of(self.name)
         subscription = None
         if peers:

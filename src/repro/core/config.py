@@ -97,6 +97,10 @@ class ProtocolConfig:
             raise ValueError("need 0 < t_train < t_sync")
         if self.poll_interval <= 0:
             raise ValueError("poll_interval must be positive")
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if self.takeover_grace < 0:
+            raise ValueError("takeover_grace must be non-negative")
         if self.providers_per_aggregator < 0:
             raise ValueError("providers_per_aggregator must be >= 0")
         if self.trainer_jitter < 0:

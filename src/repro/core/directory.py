@@ -17,12 +17,14 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..crypto import Commitment
+from ..faults.retry import RetryExhaustedError, RetryPolicy
 from ..ipfs import CID, DHT, IPFSClient
 from ..net import Message, Transport
 from ..obs.events import (
     CommitmentAccumulated,
     DirectoryRequest,
     GradientRegistered,
+    RetryExhausted,
     UpdateVerified,
     VerificationFailed,
 )
@@ -246,10 +248,17 @@ class DirectoryService:
             if entry.verified is not False
         ]
         if existing:
+            # An uploader re-announcing its own kept entry is a retry
+            # (lost ack), not a losing race: acknowledge idempotently.
+            retried = any(
+                entry.address.uploader_id == address.uploader_id
+                and entry.cid == cid for entry in existing
+            )
+            payload = {"accepted": True} if retried else \
+                {"accepted": False, "reason": "duplicate"}
             self.endpoint.respond(
                 message, KIND_REGISTER_ACK,
-                payload={"accepted": False, "reason": "duplicate"},
-                size=ENTRY_WIRE_SIZE,
+                payload=payload, size=ENTRY_WIRE_SIZE,
             )
             yield self.sim.timeout(0)
             return
@@ -298,6 +307,12 @@ class DirectoryService:
     def _register_gradient(self, address: Address, cid: CID,
                            commitment: Optional[Commitment]) -> bool:
         """Record a gradient; False if past the iteration's cutoff."""
+        existing = self._entries.get(address)
+        if existing is not None and existing.cid == cid:
+            # Idempotent retry: the first registration landed but its ack
+            # was lost.  Acknowledge without re-accumulating the
+            # commitment (accumulating twice would poison verification).
+            return True
         cutoff = self._gradient_cutoff.get(address.iteration)
         if cutoff is not None and self.sim.now > cutoff:
             return False
@@ -454,24 +469,76 @@ class DirectoryService:
 
 
 class DirectoryClient:
-    """Participant-side helper for talking to the directory."""
+    """Participant-side helper for talking to the directory.
+
+    With ``request_timeout`` unset (the legacy default) every call waits
+    for its response indefinitely — correct on honest infrastructure,
+    where the directory always answers.  Under fault injection, give the
+    client a timeout plus a :class:`~repro.faults.RetryPolicy`: each
+    request then retries with bounded backoff and raises
+    :class:`~repro.faults.RetryExhaustedError` when the directory stays
+    unreachable.  Server-side registration is idempotent, so a retried
+    register whose first ack was lost is acknowledged harmlessly.
+    """
 
     def __init__(self, name: str, transport: Transport,
-                 directory_name: str = "directory"):
+                 directory_name: str = "directory",
+                 retry: Optional[RetryPolicy] = None,
+                 request_timeout: Optional[float] = None):
+        if request_timeout is not None and request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
         self.name = name
         self.directory_name = directory_name
         self.endpoint = transport.endpoint(name)
+        self.sim = transport.sim
+        self.retry = retry
+        self.request_timeout = request_timeout
+
+    def _request(self, kind: str, payload, size: float, operation: str):
+        """One directory round-trip under the retry/timeout policy."""
+        if self.request_timeout is None:
+            response = yield from self.endpoint.request(
+                self.directory_name, kind, payload=payload, size=size,
+            )
+            return response.payload
+        policy = self.retry
+        attempts = max(1, policy.max_attempts) if policy is not None else 1
+        transport = self.endpoint.transport
+        for attempt in range(attempts):
+            request_id = transport.next_request_id()
+            transport.send(Message(
+                src=self.name, dst=self.directory_name, kind=kind,
+                payload=payload, size=size, request_id=request_id,
+            ))
+            response_event = self.endpoint.inbox.get(
+                lambda m, rid=request_id: m.request_id == rid
+            )
+            timeout = self.sim.timeout(self.request_timeout)
+            outcome = yield self.sim.any_of([response_event, timeout])
+            if response_event in outcome:
+                return outcome[response_event].payload
+            if attempt + 1 < attempts:
+                yield self.sim.timeout(policy.backoff(
+                    attempt, key=f"{self.name}:{operation}"
+                ))
+        bus = self.sim.bus
+        if bus.wants(RetryExhausted):
+            bus.publish(RetryExhausted(
+                at=self.sim.now, actor=self.name, operation=operation,
+                attempts=attempts,
+            ))
+        raise RetryExhaustedError(operation, attempts)
 
     def register(self, address: Address, cid: CID,
                  commitment: Optional[Commitment] = None):
         """Register an object; returns the ack payload."""
-        response = yield from self.endpoint.request(
-            self.directory_name, KIND_REGISTER,
+        return (yield from self._request(
+            KIND_REGISTER,
             payload={"address": address, "cid": cid,
                      "commitment": commitment},
             size=REGISTER_SIZE,
-        )
-        return response.payload
+            operation="directory.register",
+        ))
 
     def register_batch(self, records):
         """Register many objects in one message (Sec. VI batching).
@@ -483,20 +550,20 @@ class DirectoryClient:
         from .offload import accumulate_cids  # local import: avoid cycle
 
         accumulation = accumulate_cids([r["cid"] for r in records])
-        response = yield from self.endpoint.request(
-            self.directory_name, KIND_REGISTER_BATCH,
+        return (yield from self._request(
+            KIND_REGISTER_BATCH,
             payload={"records": list(records),
                      "accumulation": accumulation},
             size=REGISTER_SIZE + 96 * max(0, len(records) - 1),
-        )
-        return response.payload
+            operation="directory.register",
+        ))
 
     def lookup(self, partition_id: int, iteration: int, kind: str,
                aggregator_id: Optional[str] = None,
                uploader_id: Optional[str] = None):
         """Query entries; returns a list of result dicts."""
-        response = yield from self.endpoint.request(
-            self.directory_name, KIND_LOOKUP,
+        return (yield from self._request(
+            KIND_LOOKUP,
             payload={
                 "partition_id": partition_id,
                 "iteration": iteration,
@@ -505,19 +572,20 @@ class DirectoryClient:
                 "uploader_id": uploader_id,
             },
             size=QUERY_SIZE,
-        )
-        return response.payload
+            operation="directory.lookup",
+        ))
 
     def accumulated(self, partition_id: int, iteration: int,
                     aggregator_id: Optional[str] = None):
         """Fetch an accumulated commitment; returns (commitment, count)."""
-        response = yield from self.endpoint.request(
-            self.directory_name, KIND_ACCUMULATED,
+        payload = yield from self._request(
+            KIND_ACCUMULATED,
             payload={
                 "partition_id": partition_id,
                 "iteration": iteration,
                 "aggregator_id": aggregator_id,
             },
             size=QUERY_SIZE,
+            operation="directory.accumulated",
         )
-        return response.payload["commitment"], response.payload["count"]
+        return payload["commitment"], payload["count"]

@@ -4,20 +4,36 @@
 directory service and all participants from a :class:`ProtocolConfig`,
 then drives training iterations and collects the telemetry the paper's
 figures report.
+
+The deployment shape is described by a composable
+:class:`~repro.net.NetworkProfile` and an optional
+:class:`~repro.faults.FaultPlan`::
+
+    session = FLSession(config, model_factory, datasets,
+                        network=NetworkProfile(bandwidth_mbps=20.0),
+                        faults=FaultPlan.of(...))
+
+The nine legacy network keyword arguments (``num_ipfs_nodes``,
+``bandwidth_mbps``, ...) still work through a deprecation shim.
 """
 
 from __future__ import annotations
 
+import warnings
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ..faults import FaultInjector, FaultPlan, RetryExhaustedError, \
+    RetryPolicy
 from ..ipfs import DHT, IPFSNode, KademliaDHT, PubSub, ReplicationCluster
 from ..ml import Dataset, Model
-from ..net import Testbed, build_testbed
+from ..net import NetworkProfile, Testbed, build_testbed
 from ..obs import TelemetryCollector
-from ..obs.events import IterationFinished, IterationStarted
-from ..sim import Simulator
+from ..obs.events import IterationFinished, IterationStarted, \
+    ParticipantDegraded
+from ..sim import Interrupt, Simulator
 from .adversary import AggregatorBehavior
 from .aggregator import Aggregator
 from .bootstrapper import Assignment, Bootstrapper, build_assignment
@@ -40,17 +56,11 @@ class FLSession:
         config: ProtocolConfig,
         model_factory: Callable[[], Model],
         datasets: Sequence[Dataset],
-        num_ipfs_nodes: int = 8,
-        bandwidth_mbps: float = 10.0,
-        aggregator_bandwidth_mbps: Optional[float] = None,
-        trainer_bandwidths_mbps: Optional[Sequence[float]] = None,
-        latency: float = 0.0,
-        dht_lookup_delay: float = 0.02,
-        dht_mode: str = "table",
-        directory_processing_delay: float = 0.0,
-        replication_factor: Optional[int] = None,
+        network: Optional[NetworkProfile] = None,
+        faults: Optional[FaultPlan] = None,
         behaviors: Optional[Dict[str, AggregatorBehavior]] = None,
         sim: Optional[Simulator] = None,
+        **legacy,
     ):
         """
         Parameters
@@ -65,12 +75,55 @@ class FLSession:
         datasets:
             One local shard per trainer; their count fixes the number of
             trainers.
+        network:
+            The infrastructure profile (topology, bandwidths, DHT mode,
+            replication, retry/timeout policy).  Defaults to
+            ``NetworkProfile()`` — the historical testbed.
+        faults:
+            Optional deterministic fault schedule, executed by a
+            :class:`~repro.faults.FaultInjector` alongside the protocol.
+            When set, the profile's retry policy and directory request
+            timeout default on (so outages degrade rather than wedge).
         behaviors:
             Optional per-aggregator behaviours keyed by aggregator name
             ("aggregator-0", ...); unnamed aggregators are honest.
+        **legacy:
+            The nine pre-profile network keyword arguments
+            (``num_ipfs_nodes``, ``bandwidth_mbps``, ...), accepted with
+            a :class:`DeprecationWarning`.
         """
         if not datasets:
             raise ValueError("need at least one trainer dataset")
+        if legacy:
+            unknown = set(legacy) - set(NetworkProfile.LEGACY_FIELDS)
+            if unknown:
+                raise TypeError(
+                    "FLSession got unexpected keyword argument(s): "
+                    + ", ".join(sorted(unknown))
+                )
+            if network is not None:
+                raise TypeError(
+                    "pass network=NetworkProfile(...) or the legacy "
+                    "network keyword arguments, not both"
+                )
+            warnings.warn(
+                "FLSession's individual network keyword arguments are "
+                "deprecated; pass network=NetworkProfile(...) instead",
+                DeprecationWarning, stacklevel=2,
+            )
+            network = NetworkProfile(**legacy)
+        profile = network if network is not None else NetworkProfile()
+        if faults:
+            # A chaos run must degrade, not wedge: default the robustness
+            # knobs on unless the profile pins them explicitly.
+            if profile.directory_request_timeout is None:
+                profile = replace(profile, directory_request_timeout=15.0)
+            if profile.retry is None:
+                profile = replace(profile, retry=RetryPolicy())
+        #: The resolved infrastructure profile this session runs on.
+        self.network_profile: NetworkProfile = profile
+        #: The fault schedule (None or an empty plan means honest infra).
+        self.faults: Optional[FaultPlan] = faults if faults else None
         self.config = config
         num_trainers = len(datasets)
         num_aggregators = (
@@ -80,35 +133,34 @@ class FLSession:
             sim=sim,
             num_trainers=num_trainers,
             num_aggregators=num_aggregators,
-            num_ipfs_nodes=num_ipfs_nodes,
-            bandwidth_mbps=bandwidth_mbps,
-            aggregator_bandwidth_mbps=aggregator_bandwidth_mbps,
-            trainer_bandwidths_mbps=trainer_bandwidths_mbps,
-            latency=latency,
+            num_ipfs_nodes=profile.num_ipfs_nodes,
+            bandwidth_mbps=profile.bandwidth_mbps,
+            aggregator_bandwidth_mbps=profile.aggregator_bandwidth_mbps,
+            trainer_bandwidths_mbps=profile.trainer_bandwidths_mbps,
+            latency=profile.latency,
         )
         self.sim = self.testbed.sim
-        if dht_mode == "kademlia":
+        if profile.dht_mode == "kademlia":
             self.dht = KademliaDHT(self.sim, network=self.testbed.network,
-                                   lookup_delay=dht_lookup_delay,
+                                   lookup_delay=profile.dht_lookup_delay,
                                    seed=config.seed)
-        elif dht_mode == "table":
-            self.dht = DHT(self.sim, lookup_delay=dht_lookup_delay,
-                           seed=config.seed)
         else:
-            raise ValueError("dht_mode must be 'table' or 'kademlia'")
+            self.dht = DHT(self.sim, lookup_delay=profile.dht_lookup_delay,
+                           seed=config.seed)
         self.pubsub = PubSub(self.testbed.transport)
         self.nodes: List[IPFSNode] = [
             IPFSNode(self.sim, self.testbed.transport, self.dht, name,
                      chunk_size=config.chunk_size)
             for name in self.testbed.ipfs_names
         ]
-        if dht_mode == "kademlia":
+        if profile.dht_mode == "kademlia":
             for name in self.testbed.ipfs_names:
                 self.dht.join(name)
         self.cluster = None
-        if replication_factor is not None:
+        if profile.replication_factor is not None:
             self.cluster = ReplicationCluster(
-                self.sim, self.nodes, replication_factor=replication_factor
+                self.sim, self.nodes,
+                replication_factor=profile.replication_factor,
             )
 
         # -- model segmentation ------------------------------------------------
@@ -144,7 +196,7 @@ class FLSession:
             trainer_assignment=self.assignment.aggregator_of,
             verifiable=config.verifiable and config.directory_verification,
             expected_trainers=num_trainers,
-            processing_delay=directory_processing_delay,
+            processing_delay=profile.directory_processing_delay,
         )
         self.bootstrapper = Bootstrapper(
             self.sim, self.testbed.transport,
@@ -168,6 +220,9 @@ class FLSession:
                 dataset=datasets[index],
                 committers=self.committers,
                 seed=config.seed + index,
+                retry=profile.retry,
+                directory_request_timeout=profile.directory_request_timeout,
+                ipfs_request_timeout=profile.ipfs_request_timeout,
             ))
         self.aggregators: List[Aggregator] = []
         for name in self.testbed.aggregator_names:
@@ -183,6 +238,9 @@ class FLSession:
                 partition_len=self.partitioner.partition_size(partition_id),
                 committer=self.committers.get(partition_id),
                 behavior=behaviors.get(name),
+                retry=profile.retry,
+                directory_request_timeout=profile.directory_request_timeout,
+                ipfs_request_timeout=profile.ipfs_request_timeout,
             ))
 
         #: Telemetry is an ordinary bus subscriber: the protocol publishes
@@ -191,6 +249,14 @@ class FLSession:
         self.telemetry = TelemetryCollector(self.sim.bus)
         self.metrics: SessionMetrics = self.telemetry.session
         self._iteration = 0
+
+        #: participant name -> its supervised process for the current
+        #: round (the handle the fault injector interrupts).
+        self._round_processes: Dict[str, object] = {}
+        self._injector: Optional[FaultInjector] = None
+        if self.faults:
+            self._injector = FaultInjector(self, self.faults)
+            self._injector.start()
 
     # -- driving rounds ---------------------------------------------------------
 
@@ -222,20 +288,18 @@ class FLSession:
                 + [a.name for a in self.aggregators]
             )
             yield self.bootstrapper.announce(schedule, participants)
-            processes = [
-                self.sim.process(
-                    trainer.run_iteration(schedule),
-                    name=f"{trainer.name}:i{iteration}",
-                )
-                for trainer in self.trainers
-            ] + [
-                self.sim.process(
-                    aggregator.run_iteration(schedule),
-                    name=f"{aggregator.name}:i{iteration}",
-                )
-                for aggregator in self.aggregators
-            ]
-            yield self.sim.all_of(processes)
+            self._round_processes = {}
+            processes = []
+            for role, members in (("trainer", self.trainers),
+                                  ("aggregator", self.aggregators)):
+                for participant in members:
+                    process = self._spawn_participant(
+                        participant, role, schedule
+                    )
+                    if process is not None:
+                        processes.append(process)
+            if processes:
+                yield self.sim.all_of(processes)
 
         driver_proc = self.sim.process(driver(), name=f"round:{iteration}")
         self.sim.run_until(driver_proc)
@@ -254,6 +318,73 @@ class FLSession:
         for _ in range(rounds):
             self.run_iteration()
         return self.metrics
+
+    # -- supervision (fault tolerance) -----------------------------------------
+
+    def _spawn_participant(self, participant, role: str,
+                           schedule: IterationSchedule):
+        """Spawn one participant's supervised round process.
+
+        Participants inside a crash window are not spawned at all (they
+        late-join from the round after their fault heals); the round
+        records them as degraded.
+        """
+        if self._injector is not None \
+                and self._injector.is_down(participant.name) is not None:
+            self._degrade(schedule.iteration, participant.name, role,
+                          "offline (fault window)")
+            return None
+        process = self.sim.process(
+            self._supervised(participant, role, schedule),
+            name=f"{participant.name}:i{schedule.iteration}",
+        )
+        self._round_processes[participant.name] = process
+        return process
+
+    def _supervised(self, participant, role: str,
+                    schedule: IterationSchedule):
+        """Run one participant round, absorbing injected failures.
+
+        A fault-injected crash (:class:`Interrupt`) or an exhausted
+        retry budget ends the participant's round, interrupts its
+        orphaned child processes, and records the participant as
+        degraded — the round itself carries on for everyone else.
+        """
+        completed_before = getattr(participant, "completed_iterations",
+                                   None)
+        try:
+            yield from participant.run_iteration(schedule)
+        except Interrupt:
+            self._interrupt_children(participant)
+            self._degrade(schedule.iteration, participant.name, role,
+                          "crashed (fault injection)")
+            return
+        except RetryExhaustedError as exc:
+            self._interrupt_children(participant)
+            self._degrade(schedule.iteration, participant.name, role,
+                          f"retries exhausted ({exc.operation})")
+            return
+        if (self.faults is not None and role == "trainer"
+                and participant.completed_iterations == completed_before):
+            # Under churn, a trainer that silently aborted its round
+            # (deadline missed, storage unreachable) is degradation the
+            # accounting must show.
+            self._degrade(schedule.iteration, participant.name, role,
+                          "round not completed")
+
+    def _interrupt_children(self, participant) -> None:
+        for child in getattr(participant, "active_children", ()):
+            if child.is_alive:
+                child.interrupt("parent degraded")
+
+    def _degrade(self, iteration: int, name: str, role: str,
+                 reason: str) -> None:
+        bus = self.sim.bus
+        if bus.wants(ParticipantDegraded):
+            bus.publish(ParticipantDegraded(
+                at=self.sim.now, iteration=iteration, participant=name,
+                role=role, reason=reason,
+            ))
 
     # -- identity -----------------------------------------------------------------
 

@@ -54,6 +54,9 @@ class IterationMetrics:
     trainers_completed: List[str] = field(default_factory=list)
     #: Aggregator takeovers performed (dead aggregator ids).
     takeovers: List[str] = field(default_factory=list)
+    #: participant -> why it dropped out of this round (crashed,
+    #: retries exhausted, offline fault window, missed deadline).
+    degraded: Dict[str, str] = field(default_factory=dict)
 
     # -- derived quantities -----------------------------------------------------
 
@@ -117,7 +120,18 @@ class IterationMetrics:
         return self.finished_at - self.started_at
 
     def to_dict(self) -> dict:
-        """A JSON-serializable snapshot (raw fields + derived values)."""
+        """A JSON-serializable snapshot (raw fields + derived values).
+
+        ``degraded`` appears only when non-empty, keeping honest-run
+        snapshots identical to those captured before fault injection
+        existed.
+        """
+        snapshot = self._base_dict()
+        if self.degraded:
+            snapshot["degraded"] = dict(self.degraded)
+        return snapshot
+
+    def _base_dict(self) -> dict:
         return {
             "iteration": self.iteration,
             "started_at": self.started_at,
@@ -167,6 +181,7 @@ class IterationMetrics:
                 data.get("verification_failures", [])),
             trainers_completed=list(data.get("trainers_completed", [])),
             takeovers=list(data.get("takeovers", [])),
+            degraded=dict(data.get("degraded", {})),
         )
 
 

@@ -17,10 +17,11 @@ the trainer aborts the iteration (Algorithm 1 line 10).
 from __future__ import annotations
 
 import time as wallclock
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from ..faults.retry import RetryExhaustedError, RetryPolicy
 from ..ipfs import DHT, IPFSClient, IPFSError
 from ..ml import Dataset, Model, compute_gradient, local_update
 from ..net import Transport
@@ -30,7 +31,7 @@ from ..obs.events import (
     UploadCompleted,
     VerificationFailed,
 )
-from ..sim import Simulator
+from ..sim import Interrupt, Simulator
 from .addressing import Address, GRADIENT, UPDATE
 from .bootstrapper import Assignment
 from .config import ProtocolConfig
@@ -58,6 +59,9 @@ class Trainer:
         dataset: Dataset,
         committers: Optional[Dict[int, PartitionCommitter]] = None,
         seed: int = 0,
+        retry: Optional[RetryPolicy] = None,
+        directory_request_timeout: Optional[float] = None,
+        ipfs_request_timeout: float = 120.0,
     ):
         self.name = name
         self.sim = sim
@@ -69,8 +73,13 @@ class Trainer:
         self.committers = committers or {}
         self.seed = seed
         self.ipfs = IPFSClient(name, transport, dht,
-                               chunk_size=config.chunk_size)
-        self.directory = DirectoryClient(name, transport)
+                               request_timeout=ipfs_request_timeout,
+                               chunk_size=config.chunk_size,
+                               retry=retry)
+        self.directory = DirectoryClient(
+            name, transport, retry=retry,
+            request_timeout=directory_request_timeout,
+        )
         self.cost_model = CommitmentCostModel(config.commit_seconds_per_param)
         #: Per-trainer local compute time; defaults to the config value,
         #: override to model stragglers.
@@ -79,6 +88,32 @@ class Trainer:
         self.completed_iterations = 0
         #: Updates this trainer itself rejected (trainer verification).
         self.rejected_updates = 0
+        #: Child processes of the current round (upload fan-out).  The
+        #: session's supervisor interrupts any still alive when this
+        #: trainer is crashed by fault injection.
+        self.active_children: List = []
+        self._child_errors: List[Exception] = []
+
+    def _spawn(self, generator, name: str):
+        """Spawn a guarded child process for the current round.
+
+        Children never *fail* their process event (a same-timestamp pair
+        of failures would escape the parent's ``all_of``): an
+        :class:`Interrupt` ends the child silently, and a
+        :class:`RetryExhaustedError` is recorded for the parent to
+        re-raise after the join.
+        """
+        process = self.sim.process(self._guard(generator), name=name)
+        self.active_children.append(process)
+        return process
+
+    def _guard(self, generator):
+        try:
+            yield from generator
+        except Interrupt:
+            pass
+        except RetryExhaustedError as exc:
+            self._child_errors.append(exc)
 
     # -- local learning -----------------------------------------------------------
 
@@ -133,6 +168,8 @@ class Trainer:
         rejected updates) as :mod:`repro.obs` events on ``sim.bus``.
         """
         bus = self.sim.bus
+        self.active_children = []
+        self._child_errors = []
         if self.config.trainer_jitter > 0:
             # Deterministic per-(trainer, round) arrival offset.
             rng = np.random.default_rng(
@@ -216,13 +253,15 @@ class Trainer:
 
         uploads_started = self.sim.now
         uploads = [
-            self.sim.process(
+            self._spawn(
                 upload_one(partition_id, blob, commitment),
                 name=f"{self.name}:up:p{partition_id}",
             )
             for partition_id, blob, commitment in prepared
         ]
         yield self.sim.all_of(uploads)
+        if self._child_errors:
+            raise self._child_errors[0]
         if failures:
             return  # a storage node died; abort this round
         if batched_records:

@@ -80,6 +80,27 @@ class Blockstore:
     def cids(self) -> Iterable[CID]:
         return self._blocks.keys()
 
+    def wipe(self) -> List[CID]:
+        """Drop *everything*, pinned or not (disk loss on a node crash).
+
+        Evictions are reported on the bus like GC evictions so leak
+        monitors account for the vanished blocks.  Returns the CIDs
+        removed.
+        """
+        removed = list(self._blocks)
+        sim = self.sim
+        emit = sim is not None and sim.bus.wants(BlockEvicted)
+        for cid in removed:
+            size = self._blocks[cid].size
+            self.total_bytes -= size
+            del self._blocks[cid]
+            if emit:
+                sim.bus.publish(BlockEvicted(
+                    at=sim.now, node=self.owner, cid=cid, size=size,
+                ))
+        self._pins.clear()
+        return removed
+
     def collect_garbage(self) -> List[CID]:
         """Drop every unpinned block; returns the CIDs removed."""
         removed = [cid for cid in self._blocks if cid not in self._pins]

@@ -20,6 +20,7 @@ import hashlib
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..net import Network
+from ..net.bandwidth import TransferAbortedError
 from ..obs.events import DhtLookup
 from ..sim import Simulator
 from .cid import CID
@@ -195,8 +196,14 @@ class KademliaDHT(DHT):
             if hop == querier:
                 continue
             self.rpcs += 1
-            yield self.network.transfer(querier, hop, RPC_SIZE)
-            yield self.network.transfer(hop, querier, RPC_SIZE)
+            try:
+                yield self.network.transfer(querier, hop, RPC_SIZE)
+                yield self.network.transfer(hop, querier, RPC_SIZE)
+            except TransferAbortedError:
+                # Unreachable hop (link down): the walk stops charging —
+                # records still resolve from the authoritative table, so
+                # this only shortens the modelled route cost.
+                return
 
     # -- DHT interface ------------------------------------------------------------------
 
@@ -214,7 +221,13 @@ class KademliaDHT(DHT):
                     if storer == node:
                         continue
                     self.rpcs += 1
-                    yield self.network.transfer(node, storer, RPC_SIZE)
+                    try:
+                        yield self.network.transfer(node, storer, RPC_SIZE)
+                    except TransferAbortedError:
+                        # Publication frame lost to a dead link; the
+                        # authoritative record already exists, so only
+                        # the background traffic is cut short.
+                        return
 
             self.sim.process(publish(), name=f"kad:publish:{node}")
         return record

@@ -14,16 +14,19 @@ providers on corruption or timeouts.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..faults.retry import RetryPolicy
 from ..net import Endpoint, Message, Transport
-from ..obs.events import BlockFetched, BlockStored, MergeServed
+from ..obs.events import BlockFetched, BlockStored, MergeServed, \
+    NodeCrashed, NodeRestarted, RetryExhausted
 from ..sim import Simulator
 from .block import Block, DEFAULT_CHUNK_SIZE, chunk_object, parse_manifest, reassemble
 from .blockstore import Blockstore
 from .cid import CID, compute_cid
 from .dht import DHT
-from .errors import IntegrityError, MergeError, NodeOfflineError, NotFoundError
+from .errors import IntegrityError, IPFSError, MergeError, NodeOfflineError, \
+    NotFoundError
 from .merge import get_merger
 
 __all__ = ["IPFSNode", "IPFSClient"]
@@ -69,6 +72,10 @@ class IPFSNode:
         self.chunk_size = chunk_size
         self.online = True
         self.corrupt = False
+        #: Root CIDs this node has advertised on the DHT, in publication
+        #: order (dict used as an insertion-ordered set).  Crash/restart
+        #: withdraws and re-publishes exactly these records.
+        self._provided: Dict[CID, None] = {}
         #: Set by :class:`~repro.ipfs.cluster.ReplicationCluster`.
         self.cluster = None
         #: Telemetry.
@@ -87,6 +94,7 @@ class IPFSNode:
             self.store.put(leaf, pin=pin)
         self.store.put(root, pin=pin)
         self.dht.provide(root.cid, self.name)
+        self._provided[root.cid] = None
         bus = self.sim.bus
         if bus.wants(BlockStored):
             bus.publish(BlockStored(
@@ -141,6 +149,58 @@ class IPFSNode:
                 self.store.unpin(cid)
         except ValueError:
             pass
+
+    # -- fault surface (crash / restart) ---------------------------------------
+
+    def crash(self, lose_storage: bool = False) -> None:
+        """Take the node down (fault injection).
+
+        Requests are dropped on the floor while down, and every provider
+        record the node published is withdrawn from the DHT — as a real
+        peer's records expire once it stops re-providing.  With
+        ``lose_storage`` the blockstore is wiped too (disk loss); without
+        it the blockstore survives and :meth:`restart` re-advertises it.
+        Idempotent: crashing a dead node only escalates storage loss.
+        """
+        was_online = self.online
+        self.online = False
+        if was_online:
+            for cid in self._provided:
+                self.dht.unprovide(cid, self.name)
+        lost_blocks = 0
+        if lose_storage:
+            lost_blocks = len(self.store.wipe())
+            self._provided.clear()
+        if not was_online and not lose_storage:
+            return
+        bus = self.sim.bus
+        if bus.wants(NodeCrashed):
+            bus.publish(NodeCrashed(
+                at=self.sim.now, node=self.name, lost_blocks=lost_blocks,
+            ))
+
+    def restart(self) -> int:
+        """Bring a crashed node back; returns re-provided record count.
+
+        Objects still in the blockstore are re-advertised on the DHT in
+        their original publication order (the re-provide run a restarted
+        IPFS daemon performs); records for objects lost with the disk are
+        dropped.  No-op if the node is already online.
+        """
+        if self.online:
+            return 0
+        self.online = True
+        survivors = {cid: None for cid in self._provided
+                     if self.store.has(cid)}
+        self._provided = survivors
+        for cid in survivors:
+            self.dht.provide(cid, self.name)
+        bus = self.sim.bus
+        if bus.wants(NodeRestarted):
+            bus.publish(NodeRestarted(
+                at=self.sim.now, node=self.name, reprovided=len(survivors),
+            ))
+        return len(survivors)
 
     # -- server loop ----------------------------------------------------------
 
@@ -269,12 +329,15 @@ class IPFSClient:
 
     def __init__(self, name: str, transport: Transport, dht: DHT,
                  request_timeout: float = 120.0,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE):
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 retry: Optional[RetryPolicy] = None):
         self.name = name
         self.transport = transport
         self.dht = dht
         self.sim: Simulator = transport.sim
         self.request_timeout = request_timeout
+        #: Bounded-backoff policy for :meth:`get`; None = single attempt.
+        self.retry = retry
         #: Must match the chunk size of the nodes, as the object CID binds
         #: the chunk manifest.
         self.chunk_size = chunk_size
@@ -324,8 +387,39 @@ class IPFSClient:
 
         Tries ``prefer_nodes`` first, then up to ``max_providers`` from the
         DHT.  Corrupted responses (hash mismatch) and timeouts skip to the
-        next provider.  Raises :class:`NotFoundError` when exhausted.
+        next provider.  When the client has a :class:`RetryPolicy`, a
+        fully failed pass retries with bounded backoff, re-querying the
+        DHT each attempt (a crashed node may have restarted and
+        re-provided).  Raises the final attempt's :class:`IPFSError`
+        (:class:`NotFoundError` et al.) when exhausted.
         """
+        policy = self.retry
+        if policy is None:
+            return (yield from self._get_once(cid, prefer_nodes,
+                                              max_providers))
+        attempts = max(1, policy.max_attempts)
+        last_error: Optional[IPFSError] = None
+        for attempt in range(attempts):
+            try:
+                return (yield from self._get_once(cid, prefer_nodes,
+                                                  max_providers))
+            except IPFSError as exc:
+                last_error = exc
+            if attempt + 1 < attempts:
+                yield self.sim.timeout(
+                    policy.backoff(attempt, key=f"{self.name}:get:{cid}")
+                )
+        bus = self.sim.bus
+        if bus.wants(RetryExhausted):
+            bus.publish(RetryExhausted(
+                at=self.sim.now, actor=self.name, operation="ipfs.get",
+                attempts=attempts,
+            ))
+        raise last_error or NotFoundError(f"could not retrieve {cid!r}")
+
+    def _get_once(self, cid: CID, prefer_nodes: Sequence[str] = (),
+                  max_providers: int = 5):
+        """One retrieval pass over preferred nodes plus DHT providers."""
         fetch_started = self.sim.now
         candidates: List[str] = list(prefer_nodes)
         discovered = yield from self.dht.find_providers(

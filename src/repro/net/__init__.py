@@ -10,8 +10,10 @@ Public surface:
 - unit helpers: :func:`mbps`, :func:`megabytes`, ...
 """
 
-from .bandwidth import Flow, FlowScheduler, Link, max_min_rates
+from .bandwidth import Flow, FlowScheduler, Link, TransferAbortedError, \
+    max_min_rates
 from .network import Host, Network
+from .profile import NetworkProfile
 from .topology import Testbed, build_testbed, uniform_network
 from .trace import TransferRecord, TransferTrace
 from .transport import Endpoint, Message, Transport
@@ -25,7 +27,9 @@ __all__ = [
     "Link",
     "Message",
     "Network",
+    "NetworkProfile",
     "Testbed",
+    "TransferAbortedError",
     "TransferRecord",
     "TransferTrace",
     "Transport",

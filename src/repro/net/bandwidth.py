@@ -16,15 +16,35 @@ validated timeout, so stale wakeups after a rate change are ignored.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..sim import Event, Simulator
 
-__all__ = ["Link", "Flow", "FlowScheduler", "max_min_rates"]
+__all__ = ["Link", "Flow", "FlowScheduler", "TransferAbortedError",
+           "max_min_rates"]
 
 #: Flows narrower than this (bytes) are treated as complete, guarding
 #: against float round-off never quite reaching zero.
 _EPSILON_BYTES = 1e-6
+
+
+class TransferAbortedError(Exception):
+    """A transfer died before its last byte (link outage, host offline).
+
+    Raised into whoever waits on the transfer's completion event; the
+    message layer treats it as a lost message (clients recover via
+    timeout + retry).
+    """
+
+    def __init__(self, reason: str, src: Optional[str] = None,
+                 dst: Optional[str] = None, size: Optional[float] = None):
+        route = f" {src}->{dst}" if src and dst else ""
+        amount = f" ({size:g}B)" if size is not None else ""
+        super().__init__(f"transfer{route}{amount} aborted: {reason}")
+        self.reason = reason
+        self.src = src
+        self.dst = dst
+        self.size = size
 
 
 class Link:
@@ -167,6 +187,36 @@ class FlowScheduler:
         self._flows.append(flow)
         self._reschedule()
         return done
+
+    def abort_flows(self, links: Iterable[Link],
+                    reason: str = "link down") -> List[Flow]:
+        """Fail every in-flight flow crossing any of ``links``.
+
+        Each aborted flow's completion event fails with a
+        :class:`TransferAbortedError`; survivors get re-allocated rates.
+        Returns the aborted flows.
+        """
+        dead_links = set(links)
+        self._advance()
+        aborted = [flow for flow in self._flows
+                   if dead_links.intersection(flow.links)]
+        if not aborted:
+            return []
+        self._flows = [flow for flow in self._flows
+                       if not dead_links.intersection(flow.links)]
+        for flow in aborted:
+            flow.done.fail(TransferAbortedError(reason))
+        self._reschedule()
+        return aborted
+
+    def rates_changed(self) -> None:
+        """Re-allocate rates after a link capacity mutation.
+
+        Progress up to now is accounted at the old rates; completions
+        scheduled against them are invalidated by the epoch bump.
+        """
+        self._advance()
+        self._reschedule()
 
     # -- internals ----------------------------------------------------------
 

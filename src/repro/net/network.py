@@ -13,11 +13,11 @@ delays, which is exactly the fidelity this model provides.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Iterable, Optional
+from typing import Callable, Dict, Iterable, Optional, Set
 
-from ..obs.events import TransferCompleted, TransferStarted
+from ..obs.events import TransferAborted, TransferCompleted, TransferStarted
 from ..sim import Event, Simulator
-from .bandwidth import FlowScheduler, Link
+from .bandwidth import FlowScheduler, Link, TransferAbortedError
 
 __all__ = ["Host", "Network"]
 
@@ -70,6 +70,8 @@ class Network:
         self._latency_fn = latency_fn
         self._hosts: Dict[str, Host] = {}
         self._scheduler = FlowScheduler(sim)
+        #: Hosts whose links are currently down (fault injection).
+        self._offline: Set[str] = set()
 
     # -- host management ------------------------------------------------------
 
@@ -94,6 +96,51 @@ class Network:
 
     def __contains__(self, name: str) -> bool:
         return name in self._hosts
+
+    # -- fault surface (link state mutation) -----------------------------------
+
+    def host_online(self, name: str) -> bool:
+        """Whether ``name``'s links are currently up."""
+        if name not in self._hosts:
+            raise KeyError(f"no such host: {name!r}")
+        return name not in self._offline
+
+    def set_host_online(self, name: str, online: bool,
+                        reason: str = "link down") -> None:
+        """Bring a host's links up or down.
+
+        Taking a host down aborts every in-flight flow crossing its
+        uplink or downlink (their waiters see
+        :class:`~repro.net.bandwidth.TransferAbortedError`) and refuses
+        new transfers to/from it until it is brought back up.  Local
+        loopback transfers (``src == dst``) keep working.
+        """
+        host = self._hosts[name]
+        if online:
+            self._offline.discard(name)
+            return
+        if name in self._offline:
+            return
+        self._offline.add(name)
+        self._scheduler.abort_flows((host.uplink, host.downlink), reason)
+
+    def set_host_bandwidth(self, name: str,
+                           up_bandwidth: Optional[float] = None,
+                           down_bandwidth: Optional[float] = None) -> None:
+        """Change a host's link capacities mid-run (bytes/second).
+
+        In-flight flows keep the bytes already delivered and share the
+        new capacities from now on.
+        """
+        host = self._hosts[name]
+        for capacity in (up_bandwidth, down_bandwidth):
+            if capacity is not None and capacity <= 0:
+                raise ValueError("link capacity must be positive")
+        if up_bandwidth is not None:
+            host.uplink.capacity = float(up_bandwidth)
+        if down_bandwidth is not None:
+            host.downlink.capacity = float(down_bandwidth)
+        self._scheduler.rates_changed()
 
     # -- data movement ---------------------------------------------------------
 
@@ -128,7 +175,9 @@ class Network:
         if bus.wants(TransferCompleted):
             started = self.sim.now
 
-            def flow_event(_event):
+            def flow_event(event):
+                if not event._ok:
+                    return  # aborted; TransferAborted already published
                 bus.publish(TransferCompleted(
                     at=self.sim.now, src=src, dst=dst, size=size,
                     started_at=started,
@@ -146,13 +195,35 @@ class Network:
 
     def _transfer_proc(self, source: Host, destination: Host, size: float,
                        done: Event):
-        delay = self.latency(source.name, destination.name)
-        if delay > 0:
-            yield self.sim.timeout(delay)
-        flow_done = self._scheduler.start_flow(
-            (source.uplink, destination.downlink), size
-        )
-        yield flow_done
+        try:
+            if source.name in self._offline \
+                    or destination.name in self._offline:
+                raise TransferAbortedError(
+                    "host offline", source.name, destination.name, size
+                )
+            delay = self.latency(source.name, destination.name)
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            if source.name in self._offline \
+                    or destination.name in self._offline:
+                raise TransferAbortedError(
+                    "host offline", source.name, destination.name, size
+                )
+            flow_done = self._scheduler.start_flow(
+                (source.uplink, destination.downlink), size
+            )
+            yield flow_done
+        except TransferAbortedError as exc:
+            bus = self.sim.bus
+            if bus.wants(TransferAborted):
+                bus.publish(TransferAborted(
+                    at=self.sim.now, src=source.name, dst=destination.name,
+                    size=size, reason=exc.reason,
+                ))
+            done.fail(TransferAbortedError(
+                exc.reason, source.name, destination.name, size
+            ))
+            return
         done.succeed(size)
 
     # -- telemetry --------------------------------------------------------------

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
 from ..sim import Event, FilterStore, Simulator
+from .bandwidth import TransferAbortedError
 from .network import Network
 
 __all__ = ["Message", "Transport", "Endpoint"]
@@ -92,6 +93,8 @@ class Transport:
         self._request_ids = itertools.count(1)
         #: Telemetry: messages delivered, keyed by kind.
         self.delivered_by_kind: Dict[str, int] = {}
+        #: Telemetry: messages lost to aborted transfers.
+        self.dropped = 0
 
     def endpoint(self, name: str) -> Endpoint:
         """Create (or fetch) the endpoint for host ``name``.
@@ -119,7 +122,16 @@ class Transport:
         return delivered
 
     def _deliver(self, message: Message, delivered: Event):
-        yield self.network.transfer(message.src, message.dst, message.size)
+        try:
+            yield self.network.transfer(
+                message.src, message.dst, message.size
+            )
+        except TransferAbortedError:
+            # A dead link ate the message.  Message loss, not an error:
+            # the sender's delivery event simply never fires, and
+            # request/response callers recover via timeout + retry.
+            self.dropped += 1
+            return
         message.delivered_at = self.sim.now
         self.delivered_by_kind[message.kind] = (
             self.delivered_by_kind.get(message.kind, 0) + 1

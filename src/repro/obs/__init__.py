@@ -53,19 +53,26 @@ from .events import (
     DhtLookup,
     DirectoryRequest,
     Event,
+    FaultHealed,
+    FaultInjected,
     GradientRegistered,
     GradientsAggregated,
     InvariantViolated,
     IterationFinished,
     IterationStarted,
     MergeServed,
+    NodeCrashed,
+    NodeRestarted,
     PROTOCOL_EVENTS,
     PartialUpdateRegistered,
+    ParticipantDegraded,
+    RetryExhausted,
     SnapshotSealed,
     SyncPhaseEnded,
     SyncPhaseStarted,
     TakeoverPerformed,
     TrainerCompleted,
+    TransferAborted,
     TransferCompleted,
     TransferStarted,
     UpdateRegistered,
@@ -107,6 +114,8 @@ __all__ = [
     "DirectoryRequest",
     "Event",
     "EventBus",
+    "FaultHealed",
+    "FaultInjected",
     "FlightRecorder",
     "Histogram",
     "GradientRegistered",
@@ -120,10 +129,14 @@ __all__ = [
     "ManifestDiff",
     "MergeServed",
     "MetricsRegistry",
+    "NodeCrashed",
+    "NodeRestarted",
     "PROTOCOL_EVENTS",
     "PartialUpdateRegistered",
+    "ParticipantDegraded",
     "PerfettoExporter",
     "ResourceSampler",
+    "RetryExhausted",
     "RunManifest",
     "SPAN_EVENTS",
     "SnapshotSealed",
@@ -139,6 +152,7 @@ __all__ = [
     "TelemetryCollector",
     "TimeSeries",
     "TrainerCompleted",
+    "TransferAborted",
     "TransferCompleted",
     "TransferStarted",
     "UpdateRegistered",

@@ -25,14 +25,21 @@ from .events import (
     CommitmentAccumulated,
     DhtLookup,
     DirectoryRequest,
+    FaultHealed,
+    FaultInjected,
     GradientRegistered,
     InvariantViolated,
     IterationFinished,
     MergeServed,
+    NodeCrashed,
+    NodeRestarted,
     PartialUpdateRegistered,
+    ParticipantDegraded,
+    RetryExhausted,
     SnapshotSealed,
     TakeoverPerformed,
     TrainerCompleted,
+    TransferAborted,
     TransferCompleted,
     UpdateRegistered,
     UpdateVerified,
@@ -50,6 +57,7 @@ class CountersRegistry:
     #: instantiating a bus (see ``handled_event_types``).
     _HANDLERS = {
         TransferCompleted: "_on_transfer",
+        TransferAborted: "_on_transfer_aborted",
         BlockStored: "_on_block_stored",
         BlockFetched: "_on_block_fetched",
         BlockEvicted: "_on_block_evicted",
@@ -67,6 +75,12 @@ class CountersRegistry:
         TrainerCompleted: "_on_trainer_completed",
         IterationFinished: "_on_iteration_finished",
         SnapshotSealed: "_on_snapshot_sealed",
+        FaultInjected: "_on_fault_injected",
+        FaultHealed: "_on_fault_healed",
+        NodeCrashed: "_on_node_crashed",
+        NodeRestarted: "_on_node_restarted",
+        RetryExhausted: "_on_retry_exhausted",
+        ParticipantDegraded: "_on_participant_degraded",
     }
 
     @classmethod
@@ -125,6 +139,10 @@ class CountersRegistry:
     def _on_transfer(self, event) -> None:
         self.increment("net.transfers")
         self.increment("net.bytes", event.size)
+
+    def _on_transfer_aborted(self, event) -> None:
+        self.increment("net.transfers_aborted")
+        self.increment("net.bytes_aborted", event.size)
 
     def _on_block_stored(self, event) -> None:
         self.increment("ipfs.objects_stored")
@@ -187,3 +205,25 @@ class CountersRegistry:
 
     def _on_iteration_finished(self, event) -> None:
         self.increment("protocol.iterations")
+
+    def _on_fault_injected(self, event) -> None:
+        self.increment("faults.injected")
+        self.increment(f"faults.injected.{event.kind}")
+
+    def _on_fault_healed(self, event) -> None:
+        self.increment("faults.healed")
+
+    def _on_node_crashed(self, event) -> None:
+        self.increment("ipfs.node_crashes")
+        self.increment("ipfs.blocks_lost", event.lost_blocks)
+
+    def _on_node_restarted(self, event) -> None:
+        self.increment("ipfs.node_restarts")
+
+    def _on_retry_exhausted(self, event) -> None:
+        self.increment("protocol.retries_exhausted")
+        self.increment(f"protocol.retries_exhausted.{event.operation}")
+
+    def _on_participant_degraded(self, event) -> None:
+        self.increment("protocol.participants_degraded")
+        self.increment(f"protocol.participants_degraded.{event.role}")

@@ -63,6 +63,14 @@ __all__ = [
     "MergeServed",
     "BlockEvicted",
     "InvariantViolated",
+    # faults & churn
+    "FaultInjected",
+    "FaultHealed",
+    "TransferAborted",
+    "NodeCrashed",
+    "NodeRestarted",
+    "RetryExhausted",
+    "ParticipantDegraded",
     "PROTOCOL_EVENTS",
 ]
 
@@ -173,6 +181,73 @@ class BlockEvicted(Event):
     node: str
     cid: str
     size: int
+
+
+@dataclass(frozen=True)
+class TransferAborted(Event):
+    """An in-flight (or refused) transfer failed before the last byte.
+
+    Emitted when a link outage kills flows crossing it, or when a
+    transfer is refused because an endpoint host is offline.  ``reason``
+    says which.  The waiting sender/receiver sees a
+    :class:`~repro.net.bandwidth.TransferAbortedError`.
+    """
+
+    at: float
+    src: str
+    dst: str
+    size: float
+    reason: str
+
+
+@dataclass(frozen=True)
+class NodeCrashed(Event):
+    """An IPFS storage node's process died.
+
+    ``lost_blocks`` is the number of blocks wiped from its store
+    (0 when the disk survives the crash).
+    """
+
+    at: float
+    node: str
+    lost_blocks: int
+
+
+@dataclass(frozen=True)
+class NodeRestarted(Event):
+    """A crashed IPFS node came back.
+
+    ``reprovided`` counts the surviving objects whose provider records
+    were re-published to the DHT.
+    """
+
+    at: float
+    node: str
+    reprovided: int
+
+
+@dataclass(frozen=True)
+class FaultInjected(Event):
+    """The fault injector applied one :class:`~repro.faults.FaultSpec`.
+
+    ``spec_index`` is the spec's position in its plan, so the matching
+    :class:`FaultHealed` can be correlated.
+    """
+
+    at: float
+    kind: str
+    target: str
+    spec_index: int
+
+
+@dataclass(frozen=True)
+class FaultHealed(Event):
+    """A fault window ended and the injector restored the target."""
+
+    at: float
+    kind: str
+    target: str
+    spec_index: int
 
 
 # -- protocol events ---------------------------------------------------------------
@@ -404,6 +479,39 @@ class TakeoverPerformed(Event):
 
 
 @dataclass(frozen=True)
+class RetryExhausted(Event):
+    """An actor gave up on an operation after its retry budget ran out.
+
+    ``operation`` is the logical name (``directory.lookup``,
+    ``ipfs.get``, ...); the actor raises
+    :class:`~repro.faults.RetryExhaustedError` right after emitting
+    this.
+    """
+
+    at: float
+    actor: str
+    operation: str
+    attempts: int
+
+
+@dataclass(frozen=True)
+class ParticipantDegraded(Event):
+    """A participant lost (part of) a round to a fault.
+
+    ``role`` is ``"trainer"`` or ``"aggregator"``; ``reason`` is a
+    human-readable cause (crash interrupt, retry exhaustion, offline
+    fault window, missed deadline).  This is what per-iteration
+    ``degraded`` telemetry accounting is built from.
+    """
+
+    at: float
+    iteration: int
+    participant: str
+    role: str
+    reason: str
+
+
+@dataclass(frozen=True)
 class SnapshotSealed(Event):
     """The directory sealed a completed partition map onto IPFS
     (Sec. VI map-snapshot offload)."""
@@ -450,4 +558,5 @@ PROTOCOL_EVENTS = (
     VerificationFailed,
     TrainerCompleted,
     TakeoverPerformed,
+    ParticipantDegraded,
 )

@@ -29,6 +29,7 @@ from .events import (
     IterationFinished,
     IterationStarted,
     PROTOCOL_EVENTS,
+    ParticipantDegraded,
     SyncPhaseEnded,
     TakeoverPerformed,
     TrainerCompleted,
@@ -75,6 +76,7 @@ class TelemetryCollector:
             VerificationFailed: self._on_verification_failed,
             TrainerCompleted: self._on_trainer_completed,
             TakeoverPerformed: self._on_takeover,
+            ParticipantDegraded: self._on_degraded,
         }
         self._subscription: Subscription = bus.subscribe(
             self._handle, *PROTOCOL_EVENTS
@@ -164,3 +166,8 @@ class TelemetryCollector:
         metrics = self._current(event.iteration)
         if metrics is not None:
             metrics.takeovers.append(event.peer)
+
+    def _on_degraded(self, event) -> None:
+        metrics = self._current(event.iteration)
+        if metrics is not None:
+            metrics.degraded[event.participant] = event.reason

@@ -15,7 +15,7 @@ import os
 import sys
 
 from repro.baselines import DirectIPLSSession
-from repro.core import FLSession, ProtocolConfig
+from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import (LogisticRegression, SyntheticModel,
                       make_classification, split_iid)
 
@@ -60,7 +60,7 @@ def fig1_like(providers):
     )
     session = FLSession(
         config, lambda: SyntheticModel(20_000), dummy_datasets(16),
-        num_ipfs_nodes=16, bandwidth_mbps=10.0,
+        network=NetworkProfile(num_ipfs_nodes=16, bandwidth_mbps=10.0),
     )
     return snapshot(session.run_iteration())
 
@@ -76,7 +76,7 @@ def fig2_like(aggregators_per_partition):
     )
     session = FLSession(
         config, lambda: SyntheticModel(17_500 * 4), dummy_datasets(16),
-        num_ipfs_nodes=8, bandwidth_mbps=20.0,
+        network=NetworkProfile(num_ipfs_nodes=8, bandwidth_mbps=20.0),
     )
     return snapshot(session.run_iteration())
 
@@ -90,7 +90,7 @@ def verifiable_run():
         ProtocolConfig(num_partitions=2, t_train=300.0, t_sync=600.0,
                        verifiable=True),
         lambda: LogisticRegression(num_features=8, seed=0),
-        shards, num_ipfs_nodes=4,
+        shards, network=NetworkProfile(num_ipfs_nodes=4),
     )
     session.run(rounds=2)
     return [snapshot(m) for m in session.metrics.iterations]

@@ -1,0 +1,57 @@
+"""ProtocolConfig must reject schedules and sizes that silently break the
+protocol (an inverted t_train/t_sync used to produce zero-progress
+iterations with no error at all)."""
+
+import pytest
+
+from repro.core import ProtocolConfig
+
+
+def test_default_config_is_valid():
+    ProtocolConfig()
+
+
+def test_inverted_schedule_rejected():
+    with pytest.raises(ValueError, match="t_train < t_sync"):
+        ProtocolConfig(t_train=600.0, t_sync=300.0)
+
+
+def test_equal_deadlines_rejected():
+    with pytest.raises(ValueError, match="t_train < t_sync"):
+        ProtocolConfig(t_train=600.0, t_sync=600.0)
+
+
+def test_non_positive_t_train_rejected():
+    with pytest.raises(ValueError, match="t_train"):
+        ProtocolConfig(t_train=0.0, t_sync=600.0)
+
+
+def test_non_positive_num_partitions_rejected():
+    with pytest.raises(ValueError, match="num_partitions"):
+        ProtocolConfig(num_partitions=0)
+
+
+def test_non_positive_aggregators_per_partition_rejected():
+    with pytest.raises(ValueError, match="aggregators_per_partition"):
+        ProtocolConfig(aggregators_per_partition=0)
+
+
+def test_non_positive_chunk_size_rejected():
+    with pytest.raises(ValueError, match="chunk_size"):
+        ProtocolConfig(chunk_size=0)
+    with pytest.raises(ValueError, match="chunk_size"):
+        ProtocolConfig(chunk_size=-1)
+
+
+def test_negative_takeover_grace_rejected():
+    with pytest.raises(ValueError, match="takeover_grace"):
+        ProtocolConfig(takeover_grace=-1.0)
+
+
+def test_zero_takeover_grace_allowed():
+    ProtocolConfig(takeover_grace=0.0)
+
+
+def test_non_positive_poll_interval_rejected():
+    with pytest.raises(ValueError, match="poll_interval"):
+        ProtocolConfig(poll_interval=0.0)

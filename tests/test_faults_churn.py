@@ -1,0 +1,191 @@
+"""Churn matrix: the Fig. 1-style protocol under injected faults.
+
+The paper's Algorithm 1 carries explicit dropout machinery (t_train /
+t_sync deadlines, takeover after ``takeover_grace``); these tests make
+the machinery actually fire: a trainer crash before upload, an
+aggregator crash mid-collect forcing a peer takeover, and a 30 s link
+outage ridden out by the shared retry policy — each asserting the run
+completes, the surviving trainers stay in consensus, and the invariant
+monitors report zero violations.  A final test pins the seeded-replay
+guarantee: the same ``FaultPlan`` seed yields a byte-identical
+``RunManifest``.
+"""
+
+import numpy as np
+
+from repro import (
+    FaultPlan,
+    FaultSpec,
+    FLSession,
+    InvariantMonitors,
+    MetricsRegistry,
+    NetworkProfile,
+    ProtocolConfig,
+    RetryPolicy,
+    RunManifest,
+)
+from repro.ml import LogisticRegression, make_classification, split_iid
+from repro.obs.events import TakeoverPerformed
+
+
+def make_shards(num_trainers=4, seed=0):
+    data = make_classification(num_samples=200, num_features=8,
+                               class_separation=3.0, seed=seed)
+    return split_iid(data, num_trainers, seed=seed)
+
+
+def factory():
+    return LogisticRegression(num_features=8, num_classes=2, seed=0)
+
+
+def finalize_clean(session, monitors):
+    """End-of-run invariant check, reclaiming finished rounds first so
+    the blockstore-leak monitor only sees truly abandoned storage."""
+    session.collect_garbage(keep_iterations=0)
+    violations = monitors.finalize()
+    assert violations == [], [
+        f"{v.invariant}: {v.subject}: {v.detail}" for v in violations
+    ]
+
+
+# -- (a) trainer crash pre-upload --------------------------------------------------
+
+
+def test_trainer_crash_pre_upload_degrades_then_late_joins():
+    shards = make_shards(4)
+    config = ProtocolConfig(num_partitions=2, t_train=60.0, t_sync=300.0,
+                            local_train_seconds=2.0)
+    plan = FaultPlan.of(
+        FaultSpec(kind="crash_trainer", at=0.5, target="trainer-1",
+                  duration=10.0),
+        seed=1,
+    )
+    session = FLSession(config, factory, shards,
+                        network=NetworkProfile(num_ipfs_nodes=4),
+                        faults=plan)
+    monitors = InvariantMonitors(session.sim.bus)
+
+    first = session.run_iteration()
+    # trainer-1 was still training (local_train_seconds=2.0 > 0.5) when
+    # the crash hit, so it lost the whole round...
+    assert sorted(first.trainers_completed) == [
+        "trainer-0", "trainer-2", "trainer-3",
+    ]
+    assert first.degraded.get("trainer-1") == "crashed (fault injection)"
+
+    # ...but the fault healed at t=10.5, so it late-joins round 2.
+    second = session.run_iteration()
+    assert sorted(second.trainers_completed) == [
+        f"trainer-{i}" for i in range(4)
+    ]
+    assert "trainer-1" not in second.degraded
+
+    finalize_clean(session, monitors)
+    session.consensus_params()
+
+
+# -- (b) aggregator crash mid-collect ⇒ takeover -----------------------------------
+
+
+def test_aggregator_crash_mid_collect_forces_takeover_and_converges():
+    shards = make_shards(8)
+    # local_train_seconds=2.0 keeps gradients from arriving before the
+    # crash at t=1.0 hits aggregator-0 mid-collect (it is polling the
+    # directory with nothing collected yet).
+    config = ProtocolConfig(num_partitions=2, aggregators_per_partition=2,
+                            t_train=20.0, t_sync=120.0,
+                            takeover_grace=5.0, local_train_seconds=2.0)
+    plan = FaultPlan.of(
+        FaultSpec(kind="crash_aggregator", at=1.0, target="aggregator-0"),
+        seed=2,
+    )
+    session = FLSession(config, factory, shards,
+                        network=NetworkProfile(num_ipfs_nodes=4),
+                        faults=plan)
+    monitors = InvariantMonitors(session.sim.bus)
+    takeovers = []
+    session.sim.bus.subscribe(takeovers.append, TakeoverPerformed)
+
+    metrics = session.run_iteration()
+
+    # The peer demonstrably took over the crashed aggregator's trainers.
+    assert any(event.peer == "aggregator-0" for event in takeovers)
+    assert "aggregator-0" in metrics.takeovers
+    assert metrics.degraded.get("aggregator-0") \
+        == "crashed (fault injection)"
+    # No trainer lost the round: the takeover covered them all.
+    assert len(metrics.trainers_completed) == 8
+
+    finalize_clean(session, monitors)
+
+    # Convergence: every trainer holds the full 8-trainer average.
+    reference = session.consensus_params()
+    assert np.isfinite(reference).all()
+
+
+# -- (c) link outage ridden out by retries ------------------------------------------
+
+
+def test_link_outage_recovers_with_retries():
+    shards = make_shards(4)
+    config = ProtocolConfig(num_partitions=2, t_train=200.0, t_sync=400.0)
+    plan = FaultPlan.of(
+        FaultSpec(kind="link_down", at=3.0, target="trainer-2",
+                  duration=30.0),
+        seed=3,
+    )
+    # Tight per-attempt timeouts + a retry budget whose backoff spans the
+    # whole 30 s outage, so trainer-2 degrades-and-recovers instead of
+    # wedging on a dead link.
+    profile = NetworkProfile(num_ipfs_nodes=4,
+                             retry=RetryPolicy(max_attempts=8),
+                             directory_request_timeout=5.0,
+                             ipfs_request_timeout=10.0)
+    session = FLSession(config, factory, shards, network=profile,
+                        faults=plan)
+    monitors = InvariantMonitors(session.sim.bus)
+
+    first = session.run_iteration()
+    assert first.finished_at > first.started_at  # the round terminated
+    # trainer-2 either rode the outage out within round 1 or lost it;
+    # either way it must not have wedged the session.
+    assert ("trainer-2" in first.trainers_completed
+            or "trainer-2" in first.degraded)
+
+    # The outage healed at t=33.0, long before round 2: full strength.
+    second = session.run_iteration()
+    assert sorted(second.trainers_completed) == [
+        f"trainer-{i}" for i in range(4)
+    ]
+
+    finalize_clean(session, monitors)
+    session.consensus_params()
+
+
+# -- seeded determinism -------------------------------------------------------------
+
+
+def test_same_fault_plan_seed_gives_byte_identical_manifest():
+    def run_once() -> str:
+        shards = make_shards(4)
+        config = ProtocolConfig(num_partitions=2, t_train=60.0,
+                                t_sync=300.0)
+        plan = FaultPlan.of(
+            FaultSpec(kind="crash_trainer", at=0.5, target="trainer-1",
+                      duration=10.0),
+            FaultSpec(kind="directory_brownout", at=1.0,
+                      processing_delay=1.0, duration=10.0),
+            FaultSpec(kind="message_loss", at=0.0, probability=0.1,
+                      duration=30.0),
+            seed=11,
+        )
+        session = FLSession(config, factory, shards,
+                            network=NetworkProfile(num_ipfs_nodes=4),
+                            faults=plan)
+        registry = MetricsRegistry(session.sim.bus)
+        session.run(rounds=2)
+        registry.close()
+        manifest = RunManifest.collect(registry, session.fingerprint())
+        return manifest.to_json()
+
+    assert run_once() == run_once()
