@@ -5,6 +5,8 @@
 - :func:`aggregator_download_bytes` / :func:`naive_aggregation_time` —
   non-merge delay predictions.
 - :func:`format_table` / :func:`series_shape` — benchmark output helpers.
+- :func:`run_scale_sweep` / :func:`scale_manifest` — the population
+  scaling trajectory and its CI regression gate (docs/SCALING.md).
 """
 
 from .delays import (
@@ -19,13 +21,26 @@ from .providers import (
     sweep_provider_model,
 )
 from .results import format_row, format_table, series_shape
+from .scale import (
+    DEFAULT_POPULATIONS,
+    ScalePoint,
+    ScaleScenario,
+    format_scale_table,
+    run_scale_point,
+    run_scale_sweep,
+    scale_manifest,
+)
 from .stats import Summary, bootstrap_ci, percentile, summarize
 from .sweeps import Sweep, SweepResults, grid
 
 __all__ = [
+    "DEFAULT_POPULATIONS",
+    "ScalePoint",
+    "ScaleScenario",
     "aggregation_time_model",
     "aggregator_download_bytes",
     "format_row",
+    "format_scale_table",
     "format_table",
     "naive_aggregation_time",
     "naive_collection_time",
@@ -36,6 +51,9 @@ __all__ = [
     "bootstrap_ci",
     "grid",
     "percentile",
+    "run_scale_point",
+    "run_scale_sweep",
+    "scale_manifest",
     "summarize",
     "series_shape",
     "sweep_provider_model",

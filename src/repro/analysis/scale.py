@@ -1,0 +1,209 @@
+"""Population-scaling sweep: cost per simulated round vs trainer count.
+
+The scaling claim of this refactor is that a session models 10^2-10^5
+trainers at O(sample + cohorts) simulation cost: an exact seeded sample
+runs the full protocol while the remainder is modeled statistically per
+cohort (see ``docs/SCALING.md`` and :class:`repro.core.CohortPlan`).
+This module measures that trajectory and packages it as a
+:class:`~repro.obs.manifest.RunManifest` so the PR-3 ``compare``
+machinery can gate regressions in CI:
+
+- :func:`run_scale_sweep` runs one session per population point and
+  records wall-clock per simulated iteration alongside the
+  deterministic load metrics (directory registrations/lookups, flow
+  recomputations, stale wakeups);
+- :func:`scale_manifest` flattens the points into manifest counters
+  keyed ``scale.p{population}.{metric}``, fingerprinted by the scenario
+  (not the population list, so a CI subset sweep still compares
+  apples-to-apples against the committed full trajectory);
+- ``python -m repro.cli scale`` wraps both and diffs against a
+  committed baseline (``benchmarks/BENCH_scale.json``) with a
+  relative wall-clock threshold.
+
+Wall-clock is the only machine-dependent metric in the manifest; every
+other counter is a deterministic function of the seeded scenario and
+must not move at all between runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_POPULATIONS",
+    "ScalePoint",
+    "ScaleScenario",
+    "format_scale_table",
+    "run_scale_point",
+    "run_scale_sweep",
+    "scale_manifest",
+]
+
+#: The committed trajectory: 10^2 .. 10^5 trainers.
+DEFAULT_POPULATIONS = (100, 1_000, 10_000, 100_000)
+
+
+@dataclass(frozen=True)
+class ScaleScenario:
+    """The fixed shape every population point shares.
+
+    Mirrors the historical ``benchmarks/test_scalability.py`` setup
+    (gradient mode, 10 Mbps, 8 IPFS nodes, 40k-parameter model) so the
+    per-trainer cost matches the existing per-trainer sweep.
+    """
+
+    exact_trainers: int = 16
+    cohorts: int = 16
+    num_partitions: int = 4
+    model_params: int = 40_000
+    num_ipfs_nodes: int = 8
+    bandwidth_mbps: float = 10.0
+    iterations: int = 1
+    seed: int = 7
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """Measured cost of one population point."""
+
+    population: int
+    #: Wall-clock seconds per simulated iteration (min over repeats).
+    wall_seconds: float
+    #: Simulated seconds the run covered (deterministic).
+    sim_seconds: float
+    iterations: int
+    registrations: int
+    lookups: int
+    recomputed_flows: int
+    cancelled_wakeups: int
+    stale_wakeups: int
+    cohorts_completed: int
+
+
+def _build_session(population: int, scenario: ScaleScenario):
+    from ..core import CohortPlan, FLSession, ProtocolConfig
+    from ..ml import Dataset, SyntheticModel
+    from ..net import NetworkProfile
+    import numpy as np
+
+    config = ProtocolConfig(
+        num_partitions=scenario.num_partitions,
+        t_train=600.0,
+        t_sync=1200.0,
+        update_mode="gradient",
+        poll_interval=0.25,
+        seed=scenario.seed,
+    )
+    datasets = [
+        Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
+        for index in range(scenario.exact_trainers)
+    ]
+    return FLSession(
+        config,
+        lambda: SyntheticModel(scenario.model_params),
+        datasets,
+        network=NetworkProfile(
+            num_ipfs_nodes=scenario.num_ipfs_nodes,
+            bandwidth_mbps=scenario.bandwidth_mbps,
+        ),
+        cohort=CohortPlan(
+            population=population,
+            cohorts=scenario.cohorts,
+            seed=scenario.seed,
+        ),
+    )
+
+
+def run_scale_point(population: int,
+                    scenario: ScaleScenario = ScaleScenario(),
+                    repeats: int = 1) -> ScalePoint:
+    """Run one population point; wall-clock is the min over ``repeats``.
+
+    The minimum is the right statistic for a regression gate: scheduler
+    noise only ever adds time, so the fastest repeat is the closest
+    estimate of the code's intrinsic cost.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    best_wall = float("inf")
+    session = None
+    for _ in range(repeats):
+        session = _build_session(population, scenario)
+        started = time.perf_counter()
+        for _ in range(scenario.iterations):
+            session.run_iteration()
+        wall = (time.perf_counter() - started) / scenario.iterations
+        best_wall = min(best_wall, wall)
+    scheduler = session.testbed.network._scheduler
+    return ScalePoint(
+        population=population,
+        wall_seconds=best_wall,
+        sim_seconds=session.sim.now,
+        iterations=scenario.iterations,
+        registrations=session.directory.register_count,
+        lookups=session.directory.lookup_count,
+        recomputed_flows=scheduler.recomputed_flows,
+        cancelled_wakeups=scheduler.cancelled_wakeups,
+        stale_wakeups=scheduler.stale_wakeups,
+        cohorts_completed=sum(
+            cohort.completed_iterations for cohort in session.cohorts
+        ),
+    )
+
+
+def run_scale_sweep(populations: Sequence[int] = DEFAULT_POPULATIONS,
+                    scenario: ScaleScenario = ScaleScenario(),
+                    repeats: int = 1) -> List[ScalePoint]:
+    """Run every population point, in order."""
+    if not populations:
+        raise ValueError("a sweep needs at least one population")
+    return [run_scale_point(population, scenario, repeats=repeats)
+            for population in sorted(populations)]
+
+
+def scale_manifest(points: Sequence[ScalePoint],
+                   scenario: ScaleScenario = ScaleScenario()):
+    """Package a sweep as a RunManifest (``scale.p{population}.*``).
+
+    The fingerprint covers the *scenario*, not the population list:
+    a CI run of the small points diffs cleanly against the committed
+    full trajectory, with the big points reported as absent rather
+    than as regressions.
+    """
+    from ..obs.manifest import RunManifest, config_fingerprint
+
+    counters = {}
+    for point in points:
+        prefix = f"scale.p{point.population}"
+        counters[f"{prefix}.wall_per_iteration"] = point.wall_seconds
+        counters[f"{prefix}.sim_seconds"] = point.sim_seconds
+        counters[f"{prefix}.registrations"] = float(point.registrations)
+        counters[f"{prefix}.lookups"] = float(point.lookups)
+        counters[f"{prefix}.recomputed_flows"] = float(point.recomputed_flows)
+        counters[f"{prefix}.cancelled_wakeups"] = float(
+            point.cancelled_wakeups)
+        counters[f"{prefix}.stale_wakeups"] = float(point.stale_wakeups)
+        counters[f"{prefix}.cohorts_completed"] = float(
+            point.cohorts_completed)
+    return RunManifest(
+        fingerprint=config_fingerprint(scenario),
+        counters=dict(sorted(counters.items())),
+    )
+
+
+def format_scale_table(points: Sequence[ScalePoint],
+                       title: Optional[str] = None) -> str:
+    """Human-readable trajectory table."""
+    from .results import format_table
+
+    return format_table(
+        ["population", "wall/iter (s)", "sim (s)", "dir registers",
+         "dir lookups", "recomputed flows", "stale wakeups"],
+        [[point.population, round(point.wall_seconds, 4),
+          round(point.sim_seconds, 2), point.registrations, point.lookups,
+          point.recomputed_flows, point.stale_wakeups]
+         for point in points],
+        title=title,
+    )

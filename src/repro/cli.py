@@ -30,6 +30,12 @@ Subcommands
     Run a session with the metrics registry and resource sampler
     attached; print the OpenMetrics exposition and (optionally) write a
     JSON run manifest.
+``scale``
+    Population scaling sweep: run the cohort-modeled scenario at each
+    ``--populations`` point, print the wall-clock-per-iteration
+    trajectory, optionally write it as a run manifest and diff it
+    against a committed baseline (``benchmarks/BENCH_scale.json``)
+    with a relative wall-clock threshold (see docs/SCALING.md).
 ``compare``
     Diff two run manifests with a relative-change threshold; exits
     non-zero when a metric regressed (use ``--warn-only`` in advisory
@@ -67,7 +73,15 @@ from typing import List, Optional
 
 import numpy as np
 
-from .analysis import format_table, optimal_providers
+from .analysis import (
+    DEFAULT_POPULATIONS,
+    ScaleScenario,
+    format_scale_table,
+    format_table,
+    optimal_providers,
+    run_scale_sweep,
+    scale_manifest,
+)
 from .core import FLSession, ProtocolConfig
 from .core.adversary import (
     AlterUpdateBehavior,
@@ -291,6 +305,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "retries)")
     chaos.add_argument("--warn-only", action="store_true",
                        help="report problems but exit 0")
+
+    scale = subparsers.add_parser(
+        "scale",
+        help="population scaling sweep (cohort-modeled trainers); "
+             "optionally diff against a committed BENCH_scale.json",
+    )
+    scale.add_argument("--populations", type=int, nargs="+",
+                       default=list(DEFAULT_POPULATIONS),
+                       help="total trainer populations to sweep")
+    scale.add_argument("--sample", type=int, default=16,
+                       help="exactly-simulated trainers per point")
+    scale.add_argument("--cohorts", type=int, default=16,
+                       help="statistical cohorts for the remainder")
+    scale.add_argument("--partitions", type=int, default=4)
+    scale.add_argument("--params", type=int, default=40_000)
+    scale.add_argument("--ipfs-nodes", type=int, default=8)
+    scale.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    scale.add_argument("--iterations", type=int, default=1,
+                       help="simulated rounds per point")
+    scale.add_argument("--repeats", type=int, default=1,
+                       help="wall-clock repeats per point (min is kept)")
+    scale.add_argument("--seed", type=int, default=7)
+    scale.add_argument("--output", default=None,
+                       help="write the sweep manifest JSON here")
+    scale.add_argument("--baseline", default=None,
+                       help="committed manifest to diff against "
+                            "(e.g. benchmarks/BENCH_scale.json)")
+    scale.add_argument("--threshold", type=float, default=0.20,
+                       help="relative regression tolerance vs baseline")
+    scale.add_argument("--warn-only", action="store_true",
+                       help="report regressions but exit 0")
 
     reproduce = subparsers.add_parser(
         "reproduce",
@@ -778,6 +823,39 @@ def _run_chaos(args) -> int:
     return 0
 
 
+def _run_scale(args) -> int:
+    scenario = ScaleScenario(
+        exact_trainers=args.sample,
+        cohorts=args.cohorts,
+        num_partitions=args.partitions,
+        model_params=args.params,
+        num_ipfs_nodes=args.ipfs_nodes,
+        bandwidth_mbps=args.bandwidth_mbps,
+        iterations=args.iterations,
+        seed=args.seed,
+    )
+    points = run_scale_sweep(args.populations, scenario,
+                             repeats=args.repeats)
+    print(format_scale_table(
+        points,
+        title=f"Scaling in population ({scenario.exact_trainers} exact "
+              f"trainers, {scenario.cohorts} cohorts, "
+              f"{scenario.bandwidth_mbps:g} Mbps)",
+    ))
+    manifest = scale_manifest(points, scenario)
+    if args.output:
+        manifest.write(args.output)
+        print(f"manifest written to {args.output}")
+    if args.baseline:
+        baseline = RunManifest.load(args.baseline)
+        diff = compare_manifests(baseline, manifest,
+                                 threshold=args.threshold)
+        print(diff.format())
+        if diff.has_regressions and not args.warn_only:
+            return 1
+    return 0
+
+
 def _run_compare(args) -> int:
     baseline = RunManifest.load(args.baseline)
     current = RunManifest.load(args.current)
@@ -833,6 +911,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_critical_path(args)
     if args.command == "metrics":
         return _run_metrics(args)
+    if args.command == "scale":
+        return _run_scale(args)
     if args.command == "compare":
         return _run_compare(args)
     if args.command == "audit":

@@ -7,6 +7,8 @@ Public surface:
 - :class:`Trainer` / :class:`Aggregator` / :class:`Bootstrapper` /
   :class:`DirectoryService` — the protocol roles.
 - :class:`Address`, :class:`ModelPartitioner`, :class:`IterationSchedule`.
+- :class:`CohortPlan` — scale a session past its exact trainer sample by
+  modeling the remaining population statistically per cohort.
 - :class:`PartitionCommitter` — verifiable-aggregation crypto glue.
 - adversary behaviours: :class:`DropGradientsBehavior`,
   :class:`AlterUpdateBehavior`, :class:`LazyBehavior`.
@@ -29,6 +31,7 @@ from .bootstrapper import (
     build_assignment,
     optimal_provider_count,
 )
+from .cohort import CohortCoordinator, CohortPlan
 from .config import ProtocolConfig
 from .directory import (
     DirectoryClient,
@@ -62,6 +65,8 @@ __all__ = [
     "AlterUpdateBehavior",
     "Assignment",
     "Bootstrapper",
+    "CohortCoordinator",
+    "CohortPlan",
     "CommitmentCostModel",
     "DirectoryClient",
     "DirectoryEntry",

@@ -38,6 +38,10 @@ __all__ = ["DirectoryClient", "DirectoryEntry", "DirectoryService",
 KIND_REGISTER = "dir.register"
 KIND_REGISTER_BATCH = "dir.register.batch"
 KIND_REGISTER_ACK = "dir.register.ack"
+#: Cohort bulk operations (scaling): one message standing in for ``count``
+#: individual registrations/lookups from statistically-modeled trainers.
+KIND_REGISTER_COHORT = "dir.register.cohort"
+KIND_LOOKUP_COHORT = "dir.lookup.cohort"
 KIND_LOOKUP = "dir.lookup"
 KIND_LOOKUP_REPLY = "dir.lookup.reply"
 KIND_ACCUMULATED = "dir.accumulated"
@@ -190,8 +194,9 @@ class DirectoryService:
         # The directory host's endpoint is shared with its own IPFS client
         # (used to fetch updates for verification), so only consume
         # directory-protocol kinds here.
-        served_kinds = (KIND_REGISTER, KIND_REGISTER_BATCH, KIND_LOOKUP,
-                        KIND_ACCUMULATED)
+        served_kinds = (KIND_REGISTER, KIND_REGISTER_BATCH,
+                        KIND_REGISTER_COHORT, KIND_LOOKUP_COHORT,
+                        KIND_LOOKUP, KIND_ACCUMULATED)
         while True:
             message = yield self.endpoint.inbox.get(
                 lambda m: m.kind in served_kinds
@@ -202,12 +207,22 @@ class DirectoryService:
                     at=self.sim.now, kind=message.kind,
                 ))
             if self.processing_delay > 0:
-                # Serialized server work: requests queue behind it.
-                yield self.sim.timeout(self.processing_delay)
+                # Serialized server work: requests queue behind it.  A
+                # cohort message stands in for ``count`` individual
+                # requests and is charged accordingly.
+                units = 1
+                if message.kind in (KIND_REGISTER_COHORT,
+                                    KIND_LOOKUP_COHORT):
+                    units = max(1, int(message.payload.get("count", 1)))
+                yield self.sim.timeout(self.processing_delay * units)
             if message.kind == KIND_REGISTER:
                 self.sim.process(self._handle_register(message))
             elif message.kind == KIND_REGISTER_BATCH:
                 self._handle_register_batch(message)
+            elif message.kind == KIND_REGISTER_COHORT:
+                self._handle_register_cohort(message)
+            elif message.kind == KIND_LOOKUP_COHORT:
+                self._handle_lookup_cohort(message)
             elif message.kind == KIND_LOOKUP:
                 self._handle_lookup(message)
             elif message.kind == KIND_ACCUMULATED:
@@ -303,6 +318,29 @@ class DirectoryService:
         self.endpoint.respond(message, KIND_REGISTER_ACK,
                               payload={"accepted": all_accepted},
                               size=ENTRY_WIRE_SIZE)
+
+    def _handle_register_cohort(self, message: Message) -> None:
+        """Bulk registration load from a statistically-modeled cohort.
+
+        Carries no addresses or CIDs — the cohort's members contribute
+        *load*, not protocol state — but counts against the Sec. VI
+        directory-load ledger exactly as ``count`` individual
+        registrations would.
+        """
+        count = max(0, int(message.payload.get("count", 0)))
+        self.register_count += count
+        self.endpoint.respond(message, KIND_REGISTER_ACK,
+                              payload={"accepted": True, "count": count},
+                              size=ENTRY_WIRE_SIZE)
+
+    def _handle_lookup_cohort(self, message: Message) -> None:
+        """Bulk lookup load from a statistically-modeled cohort."""
+        count = max(0, int(message.payload.get("count", 0)))
+        self.lookup_count += count
+        self.endpoint.respond(
+            message, KIND_LOOKUP_REPLY, payload=[],
+            size=ENTRY_WIRE_SIZE * max(1, count),
+        )
 
     def _register_gradient(self, address: Address, cid: CID,
                            commitment: Optional[Commitment]) -> bool:

@@ -37,6 +37,7 @@ from ..sim import Interrupt, Simulator
 from .adversary import AggregatorBehavior
 from .aggregator import Aggregator
 from .bootstrapper import Assignment, Bootstrapper, build_assignment
+from .cohort import CohortCoordinator, CohortPlan
 from .config import ProtocolConfig
 from .directory import DirectoryService
 from .partition import ModelPartitioner
@@ -60,6 +61,7 @@ class FLSession:
         faults: Optional[FaultPlan] = None,
         behaviors: Optional[Dict[str, AggregatorBehavior]] = None,
         sim: Optional[Simulator] = None,
+        cohort: Optional[CohortPlan] = None,
         **legacy,
     ):
         """
@@ -87,6 +89,14 @@ class FLSession:
         behaviors:
             Optional per-aggregator behaviours keyed by aggregator name
             ("aggregator-0", ...); unnamed aggregators are honest.
+        cohort:
+            Optional :class:`~repro.core.cohort.CohortPlan` scaling the
+            deployment beyond the exactly-simulated trainers: the
+            datasets define the exact sample, and the plan's remaining
+            ``population`` is modeled statistically per cohort (directory
+            and link load applied in aggregate, no protocol state).  A
+            plan whose population equals ``len(datasets)`` is exact mode
+            and builds no cohort machinery at all.
         **legacy:
             The nine pre-profile network keyword arguments
             (``num_ipfs_nodes``, ``bandwidth_mbps``, ...), accepted with
@@ -243,6 +253,43 @@ class FLSession:
                 ipfs_request_timeout=profile.ipfs_request_timeout,
             ))
 
+        # -- statistical cohorts (scaling beyond the exact sample) --------------
+        #: Exact mode (no plan, or population == sampled trainers) builds
+        #: nothing here, keeping the session byte-identical to the
+        #: per-trainer code path.
+        self.cohort_plan: Optional[CohortPlan] = cohort
+        self.cohorts: List[CohortCoordinator] = []
+        if cohort is not None:
+            from ..net.units import mbps
+
+            member_counts = cohort.member_counts(num_trainers)
+            trainer_bw = mbps(profile.bandwidth_mbps)
+            bytes_per_trainer = float(sum(
+                (self.partitioner.partition_size(pid) + 1) * 8
+                for pid in range(config.num_partitions)
+            ))
+            for index, members in enumerate(member_counts):
+                name = f"cohort-{index}"
+                self.testbed.network.add_host(
+                    name,
+                    up_bandwidth=members * trainer_bw,
+                    down_bandwidth=members * trainer_bw,
+                )
+                self.cohorts.append(CohortCoordinator(
+                    name=name,
+                    sim=self.sim,
+                    transport=self.testbed.transport,
+                    network=self.testbed.network,
+                    config=config,
+                    members=members,
+                    upload_bytes_per_trainer=bytes_per_trainer,
+                    download_bytes_per_trainer=bytes_per_trainer,
+                    storage_node=self.testbed.ipfs_names[
+                        index % len(self.testbed.ipfs_names)],
+                    directory_name=self.testbed.directory_name,
+                    seed=cohort.seed + index,
+                ))
+
         #: Telemetry is an ordinary bus subscriber: the protocol publishes
         #: events and this collector folds them into the paper's metrics.
         #: Close it (``session.telemetry.close()``) for an unobserved run.
@@ -286,6 +333,7 @@ class FLSession:
             participants = (
                 [t.name for t in self.trainers]
                 + [a.name for a in self.aggregators]
+                + [c.name for c in self.cohorts]
             )
             yield self.bootstrapper.announce(schedule, participants)
             self._round_processes = {}
@@ -298,6 +346,11 @@ class FLSession:
                     )
                     if process is not None:
                         processes.append(process)
+            for coordinator in self.cohorts:
+                processes.append(self.sim.process(
+                    coordinator.run_iteration(schedule),
+                    name=f"{coordinator.name}:i{iteration}",
+                ))
             if processes:
                 yield self.sim.all_of(processes)
 
@@ -401,12 +454,20 @@ class FLSession:
             (host.up_bandwidth, host.down_bandwidth)
             for host in self.testbed.network.hosts()
         })
+        extra: Dict[str, object] = {}
+        if self.cohorts:
+            # Statistical mode only: an exact-mode session (sample = 100%)
+            # must fingerprint identically to a plain per-trainer run.
+            extra["cohort_population"] = self.cohort_plan.population
+            extra["cohorts"] = len(self.cohorts)
+            extra["cohort_seed"] = self.cohort_plan.seed
         return config_fingerprint(
             self.config,
             trainers=len(self.trainers),
             aggregators=len(self.aggregators),
             ipfs_nodes=len(self.nodes),
             link_capacities=capacities,
+            **extra,
         )
 
     # -- storage management --------------------------------------------------------

@@ -136,11 +136,15 @@ class Network:
         for capacity in (up_bandwidth, down_bandwidth):
             if capacity is not None and capacity <= 0:
                 raise ValueError("link capacity must be positive")
+        changed = []
         if up_bandwidth is not None:
             host.uplink.capacity = float(up_bandwidth)
+            changed.append(host.uplink)
         if down_bandwidth is not None:
             host.downlink.capacity = float(down_bandwidth)
-        self._scheduler.rates_changed()
+            changed.append(host.downlink)
+        if changed:
+            self._scheduler.rates_changed(changed)
 
     # -- data movement ---------------------------------------------------------
 
@@ -237,6 +241,17 @@ class Network:
     def active_transfers(self) -> int:
         """Number of transfers currently moving bytes."""
         return self._scheduler.active_flows
+
+    @property
+    def stale_wakeups(self) -> int:
+        """Superseded scheduler wakeups that fired anyway (should stay 0
+        while kernel timeout cancellation works)."""
+        return self._scheduler.stale_wakeups
+
+    @property
+    def cancelled_wakeups(self) -> int:
+        """Superseded scheduler wakeups removed from the kernel heap."""
+        return self._scheduler.cancelled_wakeups
 
     def link_utilization(self) -> Dict[str, float]:
         """Instantaneous utilization of every link carrying traffic,

@@ -48,6 +48,7 @@ from .events import (
     BlockFetched,
     BlockStored,
     BytesReceived,
+    CohortLoadApplied,
     CommitmentAccumulated,
     CommitmentComputed,
     DhtLookup,
@@ -103,6 +104,7 @@ __all__ = [
     "BlockFetched",
     "BlockStored",
     "BytesReceived",
+    "CohortLoadApplied",
     "CommitmentAccumulated",
     "CommitmentComputed",
     "CountersRegistry",

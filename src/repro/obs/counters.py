@@ -22,6 +22,7 @@ from .events import (
     BlockEvicted,
     BlockFetched,
     BlockStored,
+    CohortLoadApplied,
     CommitmentAccumulated,
     DhtLookup,
     DirectoryRequest,
@@ -81,6 +82,7 @@ class CountersRegistry:
         NodeRestarted: "_on_node_restarted",
         RetryExhausted: "_on_retry_exhausted",
         ParticipantDegraded: "_on_participant_degraded",
+        CohortLoadApplied: "_on_cohort_load",
     }
 
     @classmethod
@@ -205,6 +207,14 @@ class CountersRegistry:
 
     def _on_iteration_finished(self, event) -> None:
         self.increment("protocol.iterations")
+
+    def _on_cohort_load(self, event) -> None:
+        self.increment("cohort.rounds")
+        self.increment("cohort.members_modeled", event.members)
+        self.increment("cohort.registrations", event.registrations)
+        self.increment("cohort.lookups", event.lookups)
+        self.increment("cohort.bytes_up", event.bytes_up)
+        self.increment("cohort.bytes_down", event.bytes_down)
 
     def _on_fault_injected(self, event) -> None:
         self.increment("faults.injected")

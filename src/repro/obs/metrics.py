@@ -359,6 +359,10 @@ class ResourceSampler:
     start) the sampler records:
 
     - ``net.flows.active`` — in-flight transfer count;
+    - ``sched.stale_wakeups`` (series + counters gauge) — superseded
+      flow-scheduler wakeups that fired anyway; stays 0 while kernel
+      timeout cancellation holds, so any nonzero value flags heap
+      pollution;
     - ``net.link.utilization{link=...}`` — allocated rate over capacity
       for every link currently crossed by a flow (idle links are not
       sampled, so the series measures utilization *while active*);
@@ -395,8 +399,21 @@ class ResourceSampler:
         self.samples_taken = 0
         self.active = False
         self._epoch = 0
+        #: (name, label value) -> TimeSeries, so the per-tick hot path
+        #: skips the registry's label-freezing lookup.  Safe to hold:
+        #: the registry never drops a created series.
+        self._series_cache: Dict[Tuple[str, Optional[str]], TimeSeries] = {}
         if autostart:
             self.start()
+
+    def _series(self, name: str, label_value: Optional[str] = None,
+                **labels: str) -> TimeSeries:
+        key = (name, label_value)
+        series = self._series_cache.get(key)
+        if series is None:
+            series = self.registry.timeseries(name, **labels)
+            self._series_cache[key] = series
+        return series
 
     @classmethod
     def for_session(cls, session, registry: MetricsRegistry,
@@ -441,12 +458,16 @@ class ResourceSampler:
         registry = self.registry
         self.samples_taken += 1
         if self.network is not None:
-            registry.timeseries("net.flows.active").record(
+            self._series("net.flows.active").record(
                 now, self.network.active_transfers)
+            self._series("sched.stale_wakeups").record(
+                now, self.network.stale_wakeups)
+            registry.counters.set_gauge(
+                "sched.stale_wakeups", self.network.stale_wakeups)
             for link_name, utilization in \
                     self.network.link_utilization().items():
-                registry.timeseries(
-                    "net.link.utilization", link=link_name
+                self._series(
+                    "net.link.utilization", link_name, link=link_name
                 ).record(now, utilization)
         if self.nodes:
             total_bytes = 0.0
@@ -455,15 +476,16 @@ class ResourceSampler:
                 store = node.store
                 total_bytes += store.total_bytes
                 total_objects += len(store)
-                registry.timeseries(
-                    "ipfs.blockstore.node.bytes", node=node.name
+                self._series(
+                    "ipfs.blockstore.node.bytes", node.name,
+                    node=node.name
                 ).record(now, store.total_bytes)
-            registry.timeseries("ipfs.blockstore.bytes").record(
+            self._series("ipfs.blockstore.bytes").record(
                 now, total_bytes)
-            registry.timeseries("ipfs.blockstore.objects").record(
+            self._series("ipfs.blockstore.objects").record(
                 now, total_objects)
         if self.directory is not None:
-            registry.timeseries("directory.queue.depth").record(
+            self._series("directory.queue.depth").record(
                 now, len(self.directory.endpoint.inbox.items))
 
     # -- internals ---------------------------------------------------------------

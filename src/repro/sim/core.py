@@ -74,7 +74,14 @@ class Event:
     :meth:`fail` is called (which schedules it on the simulator queue) and
     *processed* once its callbacks have run.  Processes wait for an event by
     yielding it.
+
+    Events are slotted: at 10^4-10^5 trainers the kernel allocates millions
+    of them per run, and dropping the per-instance ``__dict__`` roughly
+    halves their footprint.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused",
+                 "_heap_entry")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -84,6 +91,9 @@ class Event:
         #: Set when a failure was delivered to at least one waiter, or
         #: explicitly via :meth:`defused`.  Undefused failures crash the run.
         self._defused = False
+        #: The queue entry this event is scheduled under, if any.  Kept so
+        #: the entry can be tombstoned in O(1) by :meth:`Timeout.cancel`.
+        self._heap_entry: Optional[list] = None
 
     @property
     def triggered(self) -> bool:
@@ -159,6 +169,8 @@ class Event:
 class Timeout(Event):
     """An event that fires after a fixed simulated delay."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise ValueError(f"negative delay {delay}")
@@ -168,9 +180,34 @@ class Timeout(Event):
         self._value = value
         sim._schedule(self, PRIORITY_NORMAL, delay)
 
+    def cancel(self) -> bool:
+        """Remove this timeout from the simulator queue before it fires.
+
+        Returns True if the timeout was pending and is now dead, False if
+        it already fired (or was already cancelled).  Cancellation is O(1):
+        the queue entry is tombstoned in place and skipped (or compacted
+        away) by the kernel, so cancelled wakeups no longer pollute the
+        heap.  Only cancel timeouts nothing waits on — a process that
+        yielded this timeout would never be resumed.
+        """
+        if self.callbacks is None:
+            return False  # already processed
+        entry = self._heap_entry
+        if entry is None or entry[3] is not self:
+            return False  # never scheduled, or already cancelled
+        entry[3] = None
+        self._heap_entry = None
+        # Back to "pending" so `triggered` reflects that it never fired.
+        self._value = _PENDING
+        self._ok = None
+        self.sim._tombstoned()
+        return True
+
 
 class Initialize(Event):
     """Internal event that starts a new process on the next kernel step."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", process: "Process"):
         super().__init__(sim)
@@ -188,6 +225,8 @@ class Process(Event):
     the generator).  The process event succeeds with the generator's return
     value.
     """
+
+    __slots__ = ("_generator", "name", "_target")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "throw"):
@@ -282,6 +321,8 @@ class Condition(Event):
     value, in trigger order.  A failing sub-event fails the condition.
     """
 
+    __slots__ = ("_events", "_evaluate", "_count")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event],
                  evaluate: Callable[[int, int], bool]):
         super().__init__(sim)
@@ -324,12 +365,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Condition that fires once *all* sub-events have fired."""
 
+    __slots__ = ()
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, lambda total, done: done == total)
 
 
 class AnyOf(Condition):
     """Condition that fires once *any* sub-event has fired."""
+
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, events, lambda total, done: done >= 1)
@@ -340,9 +385,15 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._queue: List = []  # heap of (time, priority, seq, event)
+        #: Heap of [time, priority, seq, event] entries.  Entries are lists
+        #: so cancellation can tombstone them in place (event slot -> None);
+        #: the unique seq guarantees comparisons never reach the event.
+        self._queue: List[list] = []
         self._seq = itertools.count()
         self._active_process: Optional[Process] = None
+        #: Live tombstone count; when tombstones dominate, the queue is
+        #: compacted so cancelled bulk schedules cannot leak memory.
+        self._tombstones = 0
         #: The simulation's observability spine: everything built on this
         #: kernel (network, IPFS, protocol roles) publishes typed events
         #: here; telemetry/tracing subscribe.  See :mod:`repro.obs`.
@@ -370,6 +421,39 @@ class Simulator:
         """Create an event that fires ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
+    def timeout_many(self, delays: Iterable[float],
+                     value: Any = None) -> List[Timeout]:
+        """Create one timeout per delay in a single bulk schedule.
+
+        Semantically identical to ``[sim.timeout(d, value) for d in delays]``
+        (including FIFO tie-breaking by construction order), but batches the
+        queue insertion: a large batch is appended and re-heapified in one
+        pass instead of sifting each entry individually.  Used for
+        fleet-wide schedules (e.g. one wakeup per cohort).
+        """
+        timeouts: List[Timeout] = []
+        entries: List[list] = []
+        for delay in delays:
+            if delay < 0:
+                raise ValueError(f"negative delay {delay}")
+            timeout = Timeout.__new__(Timeout)
+            Event.__init__(timeout, self)
+            timeout.delay = delay
+            timeout._ok = True
+            timeout._value = value
+            entry = [self._now + delay, PRIORITY_NORMAL, next(self._seq),
+                     timeout]
+            timeout._heap_entry = entry
+            entries.append(entry)
+            timeouts.append(timeout)
+        if len(entries) >= 8 and len(entries) * 4 >= len(self._queue):
+            self._queue.extend(entries)
+            heapq.heapify(self._queue)
+        else:
+            for entry in entries:
+                heapq.heappush(self._queue, entry)
+        return timeouts
+
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start ``generator`` as a new process."""
         return Process(self, generator, name=name)
@@ -385,19 +469,42 @@ class Simulator:
     # -- scheduling ---------------------------------------------------------
 
     def _schedule(self, event: Event, priority: int, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._seq), event)
-        )
+        entry = [self._now + delay, priority, next(self._seq), event]
+        event._heap_entry = entry
+        heapq.heappush(self._queue, entry)
+
+    def _tombstoned(self) -> None:
+        """Account a cancelled entry; compact once tombstones dominate."""
+        self._tombstones += 1
+        if self._tombstones > 64 and self._tombstones * 2 > len(self._queue):
+            self._queue = [e for e in self._queue if e[3] is not None]
+            heapq.heapify(self._queue)
+            self._tombstones = 0
+
+    def _purge_head(self) -> None:
+        """Drop cancelled entries from the front of the queue."""
+        queue = self._queue
+        while queue and queue[0][3] is None:
+            heapq.heappop(queue)
+            self._tombstones -= 1
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if none."""
+        self._purge_head()
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
         """Process the single next event."""
-        if not self._queue:
-            raise SimulationError("no scheduled events")
-        self._now, _, _, event = heapq.heappop(self._queue)
+        queue = self._queue
+        while True:
+            if not queue:
+                raise SimulationError("no scheduled events")
+            entry = heapq.heappop(queue)
+            event = entry[3]
+            if event is not None:
+                break
+            self._tombstones -= 1
+        self._now = entry[0]
         callbacks, event.callbacks = event.callbacks, None
         for callback in callbacks:
             callback(event)
@@ -414,6 +521,7 @@ class Simulator:
         then reflects the event's time, not the queue drain.
         """
         while not event.processed:
+            self._purge_head()
             if not self._queue:
                 raise SimulationError(
                     "deadlock: awaited event can never fire"
@@ -428,7 +536,10 @@ class Simulator:
         """
         if until is not None and until < self._now:
             raise ValueError(f"until={until} is in the past (now={self._now})")
-        while self._queue:
+        while True:
+            self._purge_head()
+            if not self._queue:
+                break
             if until is not None and self._queue[0][0] > until:
                 self._now = until
                 return

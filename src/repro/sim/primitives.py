@@ -23,12 +23,16 @@ __all__ = ["Store", "FilterStore", "Resource", "Container"]
 
 
 class _StorePut(Event):
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any):
         super().__init__(store.sim)
         self.item = item
 
 
 class _StoreGet(Event):
+    __slots__ = ("predicate",)
+
     def __init__(self, store: "Store",
                  predicate: Optional[Callable[[Any], bool]] = None):
         super().__init__(store.sim)
@@ -114,6 +118,8 @@ class FilterStore(Store):
 
 
 class _ResourceRequest(Event):
+    __slots__ = ("resource", "_released")
+
     def __init__(self, resource: "Resource"):
         super().__init__(resource.sim)
         self.resource = resource
@@ -179,12 +185,16 @@ class Resource:
 
 
 class _ContainerPut(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, sim: Simulator, amount: float):
         super().__init__(sim)
         self.amount = amount
 
 
 class _ContainerGet(Event):
+    __slots__ = ("amount",)
+
     def __init__(self, sim: Simulator, amount: float):
         super().__init__(sim)
         self.amount = amount

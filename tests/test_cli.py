@@ -173,3 +173,55 @@ def test_incidents_writes_loadable_bundles(tmp_path, capsys):
     assert loaded["blame"]["aggregator"] == "aggregator-0"
     assert "trainer-2" in loaded["blame"]["dropped_trainers"]
     assert "bundle ->" in capsys.readouterr().out
+
+
+def test_scale_parser_defaults():
+    args = build_parser().parse_args(["scale"])
+    assert args.populations == [100, 1_000, 10_000, 100_000]
+    assert args.threshold == 0.20
+    assert args.repeats == 1
+
+
+def test_scale_writes_manifest_and_compares_clean(tmp_path, capsys):
+    """Sweep a small point, then diff a rerun against it: the
+    deterministic counters must match exactly, so no regressions."""
+    baseline = tmp_path / "BENCH_scale.json"
+    small = ["scale", "--populations", "40", "--sample", "4",
+             "--cohorts", "4", "--partitions", "2", "--params", "2000",
+             "--ipfs-nodes", "4"]
+    code = main(small + ["--output", str(baseline)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "population" in out and "40" in out
+    assert baseline.exists()
+
+    code = main(small + ["--baseline", str(baseline),
+                         "--threshold", "0.5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "0 regression(s)" in out
+
+
+def test_scale_detects_a_regression(tmp_path, capsys):
+    """A baseline doctored to claim a faster wall-clock must trip the
+    gate (and --warn-only must downgrade it to exit 0)."""
+    import json
+
+    baseline = tmp_path / "BENCH_scale.json"
+    small = ["scale", "--populations", "40", "--sample", "4",
+             "--cohorts", "4", "--partitions", "2", "--params", "2000",
+             "--ipfs-nodes", "4"]
+    assert main(small + ["--output", str(baseline)]) == 0
+    capsys.readouterr()
+
+    doctored = json.loads(baseline.read_text())
+    key = "scale.p40.wall_per_iteration"
+    doctored["counters"][key] = doctored["counters"][key] / 1e6
+    baseline.write_text(json.dumps(doctored))
+
+    code = main(small + ["--baseline", str(baseline)])
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    code = main(small + ["--baseline", str(baseline), "--warn-only"])
+    assert code == 0

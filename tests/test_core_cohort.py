@@ -1,0 +1,163 @@
+"""The cohort abstraction: exact sample + statistically modeled mass.
+
+Two contracts matter (docs/SCALING.md):
+
+1. **Exact mode is free**: a plan whose population equals the sampled
+   trainer count builds zero cohort machinery and the session is
+   indistinguishable — identical fingerprint, identical metrics — from
+   one constructed without a plan at all.
+2. **Statistical mode preserves the load**: directory registration /
+   lookup counts and the aggregate link traffic scale with the full
+   population even though only the sample runs the real protocol.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CohortCoordinator, CohortPlan, FLSession, ProtocolConfig
+from repro.ml import Dataset, SyntheticModel
+from repro.net import NetworkProfile
+from repro.obs import CountersRegistry
+from repro.obs.events import CohortLoadApplied
+
+SAMPLE = 4
+PARTITIONS = 2
+
+
+def shards(count=SAMPLE):
+    return [Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
+            for index in range(count)]
+
+
+def build_session(population=None, cohorts=4, rounds_config=None):
+    config = rounds_config or ProtocolConfig(
+        num_partitions=PARTITIONS, t_train=300.0, t_sync=600.0,
+        update_mode="gradient", poll_interval=0.5,
+    )
+    plan = None
+    if population is not None:
+        plan = CohortPlan(population=population, cohorts=cohorts, seed=3)
+    return FLSession(
+        config, lambda: SyntheticModel(2_000), shards(),
+        network=NetworkProfile(num_ipfs_nodes=4, bandwidth_mbps=10.0),
+        cohort=plan,
+    )
+
+
+# -- CohortPlan arithmetic -----------------------------------------------------
+
+
+def test_plan_validation():
+    with pytest.raises(ValueError):
+        CohortPlan(population=0)
+    with pytest.raises(ValueError):
+        CohortPlan(population=10, cohorts=0)
+    with pytest.raises(ValueError):
+        CohortPlan(population=3).modeled_trainers(4)
+
+
+def test_member_counts_split_evenly():
+    plan = CohortPlan(population=110, cohorts=4)
+    counts = plan.member_counts(10)
+    assert counts == [25, 25, 25, 25]
+    uneven = CohortPlan(population=109, cohorts=4).member_counts(10)
+    assert uneven == [25, 25, 25, 24]
+    assert sum(uneven) == 99
+
+
+def test_member_counts_fewer_modeled_than_cohorts():
+    plan = CohortPlan(population=13, cohorts=16)
+    counts = plan.member_counts(10)
+    assert counts == [1, 1, 1]
+
+
+def test_exact_mode_builds_no_cohorts():
+    assert CohortPlan(population=7).member_counts(7) == []
+
+
+# -- exact mode is byte-identical ----------------------------------------------
+
+
+def test_exact_mode_fingerprint_identical_to_plain_session():
+    """The acceptance criterion: sample == population must fingerprint
+    (and measure) identically to a session without any plan."""
+    plain = build_session(population=None)
+    exact = build_session(population=SAMPLE)
+    assert exact.cohorts == []
+    assert exact.fingerprint() == plain.fingerprint()
+
+    plain_metrics = plain.run_iteration()
+    exact_metrics = exact.run_iteration()
+    assert exact.sim.now == plain.sim.now
+    assert exact_metrics.collection_time == plain_metrics.collection_time
+    assert exact_metrics.end_to_end_delay == plain_metrics.end_to_end_delay
+    assert exact.directory.register_count == plain.directory.register_count
+    assert exact.directory.lookup_count == plain.directory.lookup_count
+
+
+def test_statistical_mode_changes_the_fingerprint():
+    plain = build_session(population=None)
+    scaled = build_session(population=100)
+    fingerprint = scaled.fingerprint()
+    assert fingerprint["digest"] != plain.fingerprint()["digest"]
+    assert fingerprint["cohort_population"] == 100
+    assert fingerprint["cohorts"] == 4
+
+
+# -- statistical mode preserves the load ---------------------------------------
+
+
+def test_population_load_lands_on_the_directory():
+    population = 100
+    session = build_session(population=population)
+    assert len(session.cohorts) == 4
+    assert sum(c.members for c in session.cohorts) == population - SAMPLE
+
+    counters = CountersRegistry(session.sim.bus)
+    events = []
+    session.sim.bus.subscribe(events.append, CohortLoadApplied)
+    session.run_iteration()
+
+    # Registrations: population x partitions from trainers + cohorts,
+    # plus the per-partition update registrations by aggregators.
+    assert session.directory.register_count \
+        == population * PARTITIONS + PARTITIONS
+    assert session.directory.lookup_count >= population * PARTITIONS
+
+    assert counters.get("cohort.rounds") == 4
+    assert counters.get("cohort.members_modeled") == population - SAMPLE
+    assert counters.get("cohort.registrations") \
+        == (population - SAMPLE) * PARTITIONS
+    assert counters.get("cohort.lookups") \
+        == (population - SAMPLE) * PARTITIONS
+    assert counters.get("cohort.bytes_up") > 0
+
+    assert len(events) == 4
+    for event in events:
+        assert event.registrations == event.members * PARTITIONS
+        assert event.bytes_up > 0
+        assert event.bytes_down > 0
+    assert all(c.completed_iterations == 1 for c in session.cohorts)
+
+
+def test_modeled_members_do_not_join_aggregation():
+    """Cohort load is load only: the protocol outcome (who completed,
+    what was aggregated) is the sample's."""
+    session = build_session(population=64)
+    metrics = session.run_iteration()
+    assert len(metrics.trainers_completed) == SAMPLE
+
+
+def test_cohort_seed_determinism():
+    first = build_session(population=80)
+    second = build_session(population=80)
+    first.run_iteration()
+    second.run_iteration()
+    assert first.sim.now == second.sim.now
+    assert first.directory.register_count == second.directory.register_count
+    assert [c.completed_iterations for c in first.cohorts] \
+        == [c.completed_iterations for c in second.cohorts]
+
+
+def test_cohort_coordinator_exported():
+    assert CohortCoordinator.__name__ == "CohortCoordinator"

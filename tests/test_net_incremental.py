@@ -1,0 +1,262 @@
+"""Incremental fair-share vs the from-scratch oracle.
+
+The delta-based :class:`FlowScheduler` recomputation (only the
+connected component whose flow set changed) and the numpy-vectorized
+allocator must both be *float-equal* to the original progressive-fill
+``max_min_rates`` — that equality is what lets the committed golden
+manifests survive the scaling refactor.  Also covers the satellite
+fixes that rode along: the residual clamp, the single-pass abort, the
+wakeup cancellation counters, and the sub-ulp completion guard.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net.bandwidth import (
+    Flow,
+    FlowScheduler,
+    Link,
+    TransferAbortedError,
+    max_min_rates,
+    max_min_rates_vectorized,
+)
+from repro.sim import Simulator
+
+NUM_LINKS = 5
+
+# One scheduler mutation: start a flow over a link subset, let simulated
+# time pass, kill a link's flows, or mutate a link's capacity.
+_ops = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("start"),
+            st.sets(st.integers(0, NUM_LINKS - 1), min_size=1, max_size=3),
+            st.floats(1.0, 1000.0, allow_nan=False, allow_infinity=False),
+        ),
+        st.tuples(
+            st.just("advance"),
+            st.floats(0.01, 5.0, allow_nan=False, allow_infinity=False),
+        ),
+        st.tuples(st.just("abort"), st.integers(0, NUM_LINKS - 1)),
+        st.tuples(
+            st.just("capacity"),
+            st.integers(0, NUM_LINKS - 1),
+            st.floats(1.0, 500.0, allow_nan=False, allow_infinity=False),
+        ),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_incremental_allocation_matches_oracle(ops):
+    """After any interleaving, every live rate equals the oracle's.
+
+    Equality is ``==``, not approx: the incremental path must follow
+    the oracle's float arithmetic exactly, or seeded replays diverge.
+    """
+    sim = Simulator()
+    # limit=0 forces component discovery even for tiny flow sets — the
+    # production fast path would short-circuit to a global allocation.
+    scheduler = FlowScheduler(sim, small_recompute_limit=0)
+    links = [Link(f"l{i}", 10.0 * (i + 1)) for i in range(NUM_LINKS)]
+    clock = 0.0
+    for op in ops:
+        if op[0] == "start":
+            _, indices, size = op
+            done = scheduler.start_flow(
+                tuple(links[i] for i in sorted(indices)), size
+            )
+            done.defused()  # aborts are expected, not failures
+        elif op[0] == "advance":
+            clock += op[1]
+            sim.run(until=clock)
+        elif op[0] == "abort":
+            scheduler.abort_flows([links[op[1]]])
+        else:
+            _, index, capacity = op
+            links[index].capacity = capacity
+            scheduler.rates_changed([links[index]])
+        expected = max_min_rates(list(scheduler._flows))
+        for flow in scheduler._flows:
+            assert flow.rate == expected[flow]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    topology=st.lists(
+        st.tuples(
+            st.sets(st.integers(0, NUM_LINKS - 1), min_size=1, max_size=4),
+            st.floats(1.0, 1e6, allow_nan=False, allow_infinity=False),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    capacities=st.lists(
+        st.floats(0.5, 1e4, allow_nan=False, allow_infinity=False),
+        min_size=NUM_LINKS,
+        max_size=NUM_LINKS,
+    ),
+)
+def test_vectorized_allocator_matches_oracle(topology, capacities):
+    """The numpy path is bit-identical to the scalar progressive fill."""
+    links = [Link(f"l{i}", capacities[i]) for i in range(NUM_LINKS)]
+    flows = [
+        Flow(flow_id, tuple(links[i] for i in sorted(indices)), size,
+             done=None)
+        for flow_id, (indices, size) in enumerate(topology)
+    ]
+    scalar = max_min_rates(flows)
+    vectorized = max_min_rates_vectorized(flows)
+    for flow in flows:
+        assert vectorized[flow] == scalar[flow]
+
+
+def test_small_recompute_fast_path_matches_component_path():
+    """Below the limit the scheduler allocates globally; rates must be
+    identical to component-restricted recomputation (components never
+    interact, so the extra flows just re-receive their old rates)."""
+    def run(limit):
+        sim = Simulator()
+        scheduler = FlowScheduler(sim, small_recompute_limit=limit)
+        links = [Link(f"l{i}", 10.0 + i) for i in range(4)]
+        # Two independent components: {l0, l1} and {l2, l3}.
+        for pair in [(0, 1), (0,), (2, 3), (3,), (1,), (2,)]:
+            scheduler.start_flow(
+                tuple(links[i] for i in pair), 500.0
+            ).defused()
+        sim.run(until=1.0)
+        scheduler.abort_flows([links[3]])
+        return {f.flow_id: f.rate for f in scheduler._flows}
+
+    assert run(limit=64) == run(limit=0)
+
+
+def test_vectorized_allocator_handles_infinite_links():
+    inf = Link("inf", math.inf)
+    narrow = Link("narrow", 10.0)
+    constrained = Flow(0, (inf, narrow), 100.0, done=None)
+    free = Flow(1, (inf,), 100.0, done=None)
+    rates = max_min_rates_vectorized([constrained, free])
+    assert rates[constrained] == 10.0
+    assert math.isinf(rates[free])
+
+
+def test_scheduler_uses_vectorized_path_above_threshold():
+    """A large component goes through numpy and still matches the oracle."""
+    sim = Simulator()
+    scheduler = FlowScheduler(sim, vectorize_threshold=8)
+    shared = Link("shared", 100.0)
+    spurs = [Link(f"spur{i}", 5.0 + i) for i in range(12)]
+    for spur in spurs:
+        scheduler.start_flow((shared, spur), 1000.0).defused()
+    expected = max_min_rates(list(scheduler._flows))
+    assert len(scheduler._flows) >= 8
+    for flow in scheduler._flows:
+        assert flow.rate == expected[flow]
+
+
+# -- residual clamp (satellite) ------------------------------------------------
+
+
+def test_progressive_fill_residual_never_negative():
+    """Many equal flows on one link drive the float residual to exactly 0.
+
+    Before the clamp, repeated ``residual -= share`` subtraction left a
+    tiny negative residual on the bottleneck, which could surface as a
+    (harmlessly) negative rate for a later-frozen flow.  The clamp pins
+    the floor at 0.0.
+    """
+    link = Link("l", 0.1)  # 0.1 is not a dyadic float: drift-prone
+    side = Link("side", 1000.0)
+    flows = [Flow(i, (link, side), 100.0, done=None) for i in range(7)]
+    rates = max_min_rates(flows)
+    assert all(rate >= 0.0 for rate in rates.values())
+    assert sum(rates.values()) <= link.capacity + 1e-9
+
+
+# -- abort + counters (satellite) ---------------------------------------------
+
+
+def test_abort_is_single_pass_and_sorted():
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    dead = Link("dead", 10.0)
+    alive = Link("alive", 10.0)
+    events = [scheduler.start_flow((dead,), 100.0),
+              scheduler.start_flow((alive,), 100.0),
+              scheduler.start_flow((dead, alive), 100.0)]
+    for event in events:
+        event.defused()
+    aborted = scheduler.abort_flows([dead])
+    assert [flow.flow_id for flow in aborted] == [0, 2]
+    assert scheduler.active_flows == 1
+    # Survivor reclaims the full link after the shared flow died.
+    survivor = scheduler._flows[0]
+    assert survivor.rate == 10.0
+
+
+def test_abort_of_idle_link_is_a_noop():
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    idle = Link("idle", 10.0)
+    assert scheduler.abort_flows([idle]) == []
+
+
+def test_wakeup_cancellation_counters():
+    """Superseded wakeups are cancelled (removed from the heap), and no
+    wakeup ever fires against a dead epoch."""
+    link = Link("l", 10.0)
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+
+    def driver():
+        first = scheduler.start_flow((link,), 100.0)
+        yield sim.timeout(1.0)
+        second = scheduler.start_flow((link,), 100.0)  # re-arms the wakeup
+        yield first
+        yield second
+
+    sim.process(driver())
+    sim.run()
+    assert scheduler.cancelled_wakeups > 0
+    assert scheduler.stale_wakeups == 0
+    assert scheduler.active_flows == 0
+
+
+# -- sub-ulp completion guard --------------------------------------------------
+
+
+def test_sub_resolution_flow_completes_instead_of_livelocking():
+    """A residual whose finish delay is below the clock's float ulp.
+
+    At cohort-scale rates (10^8+ B/s) a flow can be left with remaining
+    bytes just above the epsilon while ``remaining / rate`` is smaller
+    than one ulp of ``sim.now`` — the armed wakeup then fires at the
+    *same* timestamp and no progress is ever possible.  The guard must
+    deliver the flow rather than spin forever.
+    """
+    sim = Simulator()
+    scheduler = FlowScheduler(sim)
+    fast = Link("fast", 1e9)
+
+    def driver():
+        # Park the clock high so one ulp is coarse (~1.5e-5 at 1e11).
+        yield sim.timeout(1e11)
+        done = scheduler.start_flow((fast,), 2e-3)  # finish delay 2e-12
+        yield done
+
+    process = sim.process(driver())
+    sim.run()
+    assert process.processed
+    assert scheduler.active_flows == 0
+    assert scheduler.bytes_delivered == pytest.approx(2e-3)
+
+
+def test_transfer_abort_error_is_exported():
+    assert issubclass(TransferAbortedError, Exception)
