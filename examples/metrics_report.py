@@ -1,5 +1,5 @@
 #!/usr/bin/env python
-"""The metrics layer end to end: histograms, sampling, manifest diffs.
+"""The metrics layer end to end: sketches, sampling, manifest diffs.
 
 Runs a short merge-and-download session with a ``MetricsRegistry`` and
 a ``ResourceSampler`` attached, prints the interesting part of the
@@ -9,6 +9,13 @@ machinery ``python -m repro.cli metrics`` / ``compare`` exposes, and
 the extra provider shows up as an *improvement* in the transfer and
 upload distributions (the Fig. 1 effect).
 
+Histograms are backed by a mergeable quantile sketch (exact below a
+configurable threshold, bounded relative error above it — see
+``docs/OBSERVABILITY.md``, "Observability at scale"); the registry is
+built with a deliberately tiny threshold here so the sketch crossover,
+the cross-cohort merge, and the deterministic memory accounting are
+all visible in one short run.
+
 Run:  python examples/metrics_report.py
 """
 
@@ -17,6 +24,7 @@ import numpy as np
 from repro import FLSession, NetworkProfile, ProtocolConfig
 from repro.ml import Dataset, SyntheticModel
 from repro.obs import (
+    Histogram,
     MetricsRegistry,
     ResourceSampler,
     RunManifest,
@@ -49,7 +57,10 @@ def run_session(providers_per_aggregator: int) -> RunManifest:
         datasets=shards,
         network=NetworkProfile(num_ipfs_nodes=8, bandwidth_mbps=10.0),
     )
-    registry = MetricsRegistry(session.sim.bus)
+    # A 16-observation exactness threshold forces the busy histograms
+    # into sketch mode within one round; production registries keep the
+    # default (4096), where figure-scale runs never spill at all.
+    registry = MetricsRegistry(session.sim.bus, histogram_max_exact=16)
     sampler = ResourceSampler.for_session(session, registry, interval=0.25)
     session.run(rounds=1)
     sampler.stop()
@@ -67,16 +78,46 @@ def run_session(providers_per_aggregator: int) -> RunManifest:
                 print(f"  {line}")
         print()
         duration = registry.histogram("net.transfer.duration")
-        print(f"transfer durations: n={duration.count} "
+        mode = "exact" if duration.exact else \
+            f"sketch (±{duration.sketch.relative_error:.0%}, " \
+            f"{duration.sketch.bucket_count} buckets)"
+        print(f"transfer durations [{mode}]: n={duration.count} "
               f"mean={duration.mean:.3f}s p95={duration.percentile(95):.3f}s "
               f"max={duration.maximum:.3f}s")
+        print(f"telemetry cost: {registry.events_observed} events folded, "
+              f"{registry.sketch_histograms()} sketch histogram(s), "
+              f"peak {registry.peak_telemetry_bytes / 1024:.1f} KiB "
+              f"(deterministic memory model)")
         print()
 
     return RunManifest.collect(registry, session.fingerprint())
 
 
+def merge_demo():
+    """Cross-cohort aggregation without raw-value exchange: shard
+    histograms merge order-independently via their sketches."""
+    shards = []
+    rng = np.random.default_rng(7)
+    for shard_index in range(3):
+        histogram = Histogram("net.transfer.duration", unit="seconds",
+                              lo=1e-3, hi=10.0, growth=4.0, max_exact=8)
+        for value in rng.lognormal(mean=-1.0, sigma=1.0, size=64):
+            histogram.observe(float(value))
+        shards.append(histogram)
+    merged = shards[0]
+    for shard in shards[1:]:
+        merged.merge(shard)
+    print(f"merged 3 cohort shards: n={merged.count} "
+          f"p50={merged.percentile(50):.3f}s "
+          f"p99={merged.percentile(99):.3f}s "
+          f"({merged.sketch.bucket_count} buckets, "
+          f"{merged.footprint_bytes()} modelled bytes)")
+    print()
+
+
 def main():
     baseline = run_session(providers_per_aggregator=1)
+    merge_demo()
     wider = run_session(providers_per_aggregator=2)
 
     print("rerun with one extra provider per aggregator, manifest diff")

@@ -20,9 +20,21 @@ machinery can gate regressions in CI:
   committed baseline (``benchmarks/BENCH_scale.json``) with a
   relative wall-clock threshold.
 
+Observed sweeps (``ScaleScenario.observed``) additionally attach the
+bounded telemetry stack — a
+:class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.metrics.ResourceSampler` and, below rate 1.0, a
+deterministic :class:`~repro.obs.bus.SamplingPolicy` on the firehose
+families — and report its cost (``telemetry_peak_bytes``,
+``events_observed``) per point, so the committed baseline also gates
+observability-cost regressions.  A progress stream
+(:class:`~repro.obs.progress.ProgressReporter`) can heartbeat the sweep
+live (``cli scale --progress``).
+
 Wall-clock is the only machine-dependent metric in the manifest; every
-other counter is a deterministic function of the seeded scenario and
-must not move at all between runs.
+other counter — including the telemetry-cost ones, which derive from
+the deterministic event stream and the obs memory model — must not
+move at all between runs.
 """
 
 from __future__ import annotations
@@ -52,6 +64,13 @@ class ScaleScenario:
     Mirrors the historical ``benchmarks/test_scalability.py`` setup
     (gradient mode, 10 Mbps, 8 IPFS nodes, 40k-parameter model) so the
     per-trainer cost matches the existing per-trainer sweep.
+
+    ``observed`` attaches the bounded metrics stack (registry +
+    resource sampler) to every point; ``event_sample_rate`` below 1.0
+    additionally thins the firehose event families with a deterministic
+    :class:`~repro.obs.bus.SamplingPolicy`.  Both are part of the
+    scenario fingerprint: an observed sweep never diffs against an
+    unobserved baseline.
     """
 
     exact_trainers: int = 16
@@ -62,6 +81,18 @@ class ScaleScenario:
     bandwidth_mbps: float = 10.0
     iterations: int = 1
     seed: int = 7
+    observed: bool = False
+    event_sample_rate: float = 1.0
+    #: Sim-seconds between resource samples.  5 s over a ~900 s round
+    #: still retains ~180 points per series while keeping the sampler
+    #: inside the 15% observed-overhead budget at 10^4-10^5 trainers.
+    sample_interval: float = 5.0
+
+    def __post_init__(self):
+        if not 0.0 < self.event_sample_rate <= 1.0:
+            raise ValueError("event_sample_rate must be in (0, 1]")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
 
 
 @dataclass(frozen=True)
@@ -80,6 +111,10 @@ class ScalePoint:
     cancelled_wakeups: int
     stale_wakeups: int
     cohorts_completed: int
+    #: Peak modelled telemetry memory (0 when unobserved; deterministic).
+    telemetry_peak_bytes: int = 0
+    #: Events the metrics registry folded (0 when unobserved).
+    events_observed: int = 0
 
 
 def _build_session(population: int, scenario: ScaleScenario):
@@ -116,26 +151,55 @@ def _build_session(population: int, scenario: ScaleScenario):
     )
 
 
+def _attach_observability(session, scenario: ScaleScenario):
+    """Wire the bounded telemetry stack onto a scale session."""
+    from ..obs import MetricsRegistry, ResourceSampler, SamplingPolicy
+
+    if scenario.event_sample_rate < 1.0:
+        session.sim.bus.sampling = \
+            SamplingPolicy.firehose(scenario.event_sample_rate)
+    registry = MetricsRegistry(session.sim.bus)
+    sampler = ResourceSampler.for_session(
+        session, registry, interval=scenario.sample_interval)
+    return registry, sampler
+
+
 def run_scale_point(population: int,
                     scenario: ScaleScenario = ScaleScenario(),
-                    repeats: int = 1) -> ScalePoint:
+                    repeats: int = 1,
+                    progress=None) -> ScalePoint:
     """Run one population point; wall-clock is the min over ``repeats``.
 
     The minimum is the right statistic for a regression gate: scheduler
     noise only ever adds time, so the fastest repeat is the closest
-    estimate of the code's intrinsic cost.
+    estimate of the code's intrinsic cost.  ``progress`` is an optional
+    callable ``(session, registry) -> resource`` attached around the
+    final repeat (the one whose deterministic counters are reported);
+    its ``close()`` is called after the run.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
     best_wall = float("inf")
-    session = None
-    for _ in range(repeats):
+    session = registry = sampler = None
+    for repeat in range(repeats):
         session = _build_session(population, scenario)
+        registry = sampler = None
+        if scenario.observed:
+            registry, sampler = _attach_observability(session, scenario)
+        reporter = None
+        if progress is not None and repeat == repeats - 1:
+            reporter = progress(session, registry)
         started = time.perf_counter()
         for _ in range(scenario.iterations):
             session.run_iteration()
         wall = (time.perf_counter() - started) / scenario.iterations
         best_wall = min(best_wall, wall)
+        if sampler is not None:
+            sampler.stop()
+        if registry is not None:
+            registry.close()
+        if reporter is not None:
+            reporter.close()
     scheduler = session.testbed.network._scheduler
     return ScalePoint(
         population=population,
@@ -150,17 +214,44 @@ def run_scale_point(population: int,
         cohorts_completed=sum(
             cohort.completed_iterations for cohort in session.cohorts
         ),
+        telemetry_peak_bytes=(
+            registry.peak_telemetry_bytes if registry is not None else 0),
+        events_observed=(
+            registry.events_observed if registry is not None else 0),
     )
 
 
 def run_scale_sweep(populations: Sequence[int] = DEFAULT_POPULATIONS,
                     scenario: ScaleScenario = ScaleScenario(),
-                    repeats: int = 1) -> List[ScalePoint]:
-    """Run every population point, in order."""
+                    repeats: int = 1,
+                    progress_jsonl=None,
+                    progress_stream=None) -> List[ScalePoint]:
+    """Run every population point, in order.
+
+    ``progress_jsonl`` (path or writable stream) and/or
+    ``progress_stream`` (human-readable, e.g. ``sys.stderr``) attach a
+    :class:`~repro.obs.progress.ProgressReporter` labelled
+    ``p{population}`` to each point; a sweep shares one JSONL file.
+    """
     if not populations:
         raise ValueError("a sweep needs at least one population")
-    return [run_scale_point(population, scenario, repeats=repeats)
-            for population in sorted(populations)]
+    with_progress = progress_jsonl is not None or progress_stream is not None
+    points = []
+    for population in sorted(populations):
+        point_progress = None
+        if with_progress:
+            def point_progress(session, registry, _pop=population):
+                from ..obs.progress import ProgressReporter
+
+                return ProgressReporter(
+                    session.sim.bus, registry=registry,
+                    stream=progress_stream, jsonl=progress_jsonl,
+                    label=f"p{_pop}",
+                )
+        points.append(run_scale_point(
+            population, scenario, repeats=repeats,
+            progress=point_progress))
+    return points
 
 
 def scale_manifest(points: Sequence[ScalePoint],
@@ -170,7 +261,9 @@ def scale_manifest(points: Sequence[ScalePoint],
     The fingerprint covers the *scenario*, not the population list:
     a CI run of the small points diffs cleanly against the committed
     full trajectory, with the big points reported as absent rather
-    than as regressions.
+    than as regressions.  Observed sweeps add per-point
+    ``telemetry_peak_bytes`` / ``events_observed`` counters, so the
+    same ``compare`` gate also catches observability-cost growth.
     """
     from ..obs.manifest import RunManifest, config_fingerprint
 
@@ -187,6 +280,11 @@ def scale_manifest(points: Sequence[ScalePoint],
         counters[f"{prefix}.stale_wakeups"] = float(point.stale_wakeups)
         counters[f"{prefix}.cohorts_completed"] = float(
             point.cohorts_completed)
+        if scenario.observed:
+            counters[f"{prefix}.telemetry_peak_bytes"] = float(
+                point.telemetry_peak_bytes)
+            counters[f"{prefix}.events_observed"] = float(
+                point.events_observed)
     return RunManifest(
         fingerprint=config_fingerprint(scenario),
         counters=dict(sorted(counters.items())),
@@ -200,10 +298,12 @@ def format_scale_table(points: Sequence[ScalePoint],
 
     return format_table(
         ["population", "wall/iter (s)", "sim (s)", "dir registers",
-         "dir lookups", "recomputed flows", "stale wakeups"],
+         "dir lookups", "recomputed flows", "stale wakeups",
+         "telemetry peak (B)"],
         [[point.population, round(point.wall_seconds, 4),
           round(point.sim_seconds, 2), point.registrations, point.lookups,
-          point.recomputed_flows, point.stale_wakeups]
+          point.recomputed_flows, point.stale_wakeups,
+          point.telemetry_peak_bytes]
          for point in points],
         title=title,
     )

@@ -36,6 +36,13 @@ Subcommands
     trajectory, optionally write it as a run manifest and diff it
     against a committed baseline (``benchmarks/BENCH_scale.json``)
     with a relative wall-clock threshold (see docs/SCALING.md).
+    ``--observe`` attaches the bounded metrics stack and reports its
+    peak telemetry memory per point; ``--progress FILE`` streams
+    heartbeat JSONL (and a stderr line) while the sweep runs.
+``status``
+    Summarize the heartbeats of a live or finished run from a
+    ``--progress`` JSONL file: last iteration, sim clock, event rate
+    and telemetry peak per label.
 ``compare``
     Diff two run manifests with a relative-change threshold; exits
     non-zero when a metric regressed (use ``--warn-only`` in advisory
@@ -103,6 +110,8 @@ from .obs import (
     RunManifest,
     SpanCollector,
     compare_manifests,
+    format_heartbeat,
+    read_progress,
     render_openmetrics,
 )
 from .core.verification import PartitionCommitter
@@ -336,6 +345,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="relative regression tolerance vs baseline")
     scale.add_argument("--warn-only", action="store_true",
                        help="report regressions but exit 0")
+    scale.add_argument("--observe", action="store_true",
+                       help="attach the bounded metrics stack (registry "
+                            "+ resource sampler) to every point and "
+                            "report its cost")
+    scale.add_argument("--event-sample-rate", type=float, default=1.0,
+                       help="deterministic sampling rate for the "
+                            "firehose event families (requires "
+                            "--observe to have any effect)")
+    scale.add_argument("--progress", default=None, metavar="JSONL",
+                       help="stream heartbeat records to this JSONL "
+                            "file (and stderr) while the sweep runs")
+
+    status = subparsers.add_parser(
+        "status",
+        help="summarize the heartbeats of a live or finished run "
+             "(reads a --progress JSONL file)",
+    )
+    status.add_argument("progress", help="progress JSONL file to read")
+    status.add_argument("--tail", type=int, default=1,
+                        help="heartbeats to show per label")
 
     reproduce = subparsers.add_parser(
         "reproduce",
@@ -833,9 +862,14 @@ def _run_scale(args) -> int:
         bandwidth_mbps=args.bandwidth_mbps,
         iterations=args.iterations,
         seed=args.seed,
+        observed=args.observe,
+        event_sample_rate=args.event_sample_rate,
     )
+    progress_stream = sys.stderr if args.progress else None
     points = run_scale_sweep(args.populations, scenario,
-                             repeats=args.repeats)
+                             repeats=args.repeats,
+                             progress_jsonl=args.progress,
+                             progress_stream=progress_stream)
     print(format_scale_table(
         points,
         title=f"Scaling in population ({scenario.exact_trainers} exact "
@@ -853,6 +887,34 @@ def _run_scale(args) -> int:
         print(diff.format())
         if diff.has_regressions and not args.warn_only:
             return 1
+    return 0
+
+
+def _run_status(args) -> int:
+    try:
+        records = read_progress(args.progress)
+    except OSError as error:
+        print(f"cannot read progress file: {error}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"no heartbeats in {args.progress} (yet)")
+        return 1
+    by_label = {}
+    for record in records:
+        by_label.setdefault(record.get("label") or "run", []).append(record)
+    tail = max(args.tail, 1)
+    for label, beats in by_label.items():
+        for record in beats[-tail:]:
+            print(format_heartbeat(record))
+    latest = records[-1]
+    peak = latest.get("peak_telemetry_bytes")
+    summary = (f"{len(records)} heartbeat(s), {len(by_label)} label(s); "
+               f"latest: iteration {latest.get('iteration', -1)} at "
+               f"sim t={latest.get('sim_seconds', 0.0):.1f}s, "
+               f"{latest.get('events', 0)} events")
+    if peak is not None:
+        summary += f", telemetry peak {peak / 1024.0:.1f} KiB"
+    print(summary)
     return 0
 
 
@@ -913,6 +975,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_metrics(args)
     if args.command == "scale":
         return _run_scale(args)
+    if args.command == "status":
+        return _run_status(args)
     if args.command == "compare":
         return _run_compare(args)
     if args.command == "audit":

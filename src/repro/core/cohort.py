@@ -168,7 +168,8 @@ class CohortCoordinator:
             return  # infrastructure fault: the cohort degrades silently
         self.completed_iterations += 1
         bus = self.sim.bus
-        if bus.wants(CohortLoadApplied):
+        if bus.wants(CohortLoadApplied) and bus.admits(
+                CohortLoadApplied, schedule.iteration, self.name):
             bus.publish(CohortLoadApplied(
                 at=self.sim.now, iteration=schedule.iteration,
                 cohort=self.name, members=self.members,

@@ -202,7 +202,8 @@ class DirectoryService:
                 lambda m: m.kind in served_kinds
             )
             bus = self.sim.bus
-            if bus.wants(DirectoryRequest):
+            if bus.wants(DirectoryRequest) and bus.admits(
+                    DirectoryRequest, message.kind, self.sim.now):
                 bus.publish(DirectoryRequest(
                     at=self.sim.now, kind=message.kind,
                 ))

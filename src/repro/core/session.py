@@ -461,6 +461,10 @@ class FLSession:
             extra["cohort_population"] = self.cohort_plan.population
             extra["cohorts"] = len(self.cohorts)
             extra["cohort_seed"] = self.cohort_plan.seed
+        if self.sim.bus.sampling is not None:
+            # A sampled event stream yields different telemetry: never
+            # diff it against an unsampled (or differently-sampled) run.
+            extra["event_sampling"] = self.sim.bus.sampling.describe()
         return config_fingerprint(
             self.config,
             trainers=len(self.trainers),

@@ -31,10 +31,21 @@ and aggregators — publish small typed events
 
 The bus is zero-overhead when unsubscribed: emission sites guard event
 construction behind :meth:`EventBus.wants`, so unobserved runs pay one
-boolean check per site.  See ``docs/OBSERVABILITY.md``.
+boolean check per site.  At cohort scale the stack stays bounded:
+histograms spill to a mergeable :class:`QuantileSketch`
+(:mod:`repro.obs.sketch`), series decimate deterministically, a
+:class:`SamplingPolicy` thins the firehose families at the producer,
+and a :class:`ProgressReporter` (:mod:`repro.obs.progress`) heartbeats
+liveness and telemetry cost.  See ``docs/OBSERVABILITY.md``.
 """
 
-from .bus import EventBus, Subscription
+from .bus import (
+    EventBus,
+    SAMPLED_EVENT_FAMILIES,
+    SamplingPolicy,
+    Subscription,
+    sample_key,
+)
 from .counters import CountersRegistry
 from .critical_path import (
     CriticalPath,
@@ -92,8 +103,14 @@ from .manifest import (
 )
 from .metrics import Histogram, MetricsRegistry, ResourceSampler, TimeSeries
 from .monitors import InvariantMonitors
-from .openmetrics import parse_openmetrics, render_openmetrics
+from .openmetrics import (
+    parse_openmetrics,
+    render_histogram,
+    render_openmetrics,
+)
 from .perfetto import PerfettoExporter
+from .progress import ProgressReporter, format_heartbeat, read_progress
+from .sketch import QuantileSketch
 from .spans import SPAN_EVENTS, Span, SpanCollector, SpanTree, \
     build_span_tree
 from .telemetry import TelemetryCollector
@@ -137,10 +154,14 @@ __all__ = [
     "PartialUpdateRegistered",
     "ParticipantDegraded",
     "PerfettoExporter",
+    "ProgressReporter",
+    "QuantileSketch",
     "ResourceSampler",
     "RetryExhausted",
     "RunManifest",
+    "SAMPLED_EVENT_FAMILIES",
     "SPAN_EVENTS",
+    "SamplingPolicy",
     "SnapshotSealed",
     "Span",
     "SpanCollector",
@@ -164,6 +185,10 @@ __all__ = [
     "build_span_tree",
     "compare_manifests",
     "config_fingerprint",
+    "format_heartbeat",
     "parse_openmetrics",
+    "read_progress",
+    "render_histogram",
     "render_openmetrics",
+    "sample_key",
 ]

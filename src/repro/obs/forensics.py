@@ -57,7 +57,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from . import events as _events_module
-from .bus import EventBus, Subscription
+from .bus import SAMPLED_EVENT_FAMILIES, EventBus, Subscription
 from .events import (
     CommitmentAccumulated,
     DirectoryRequest,
@@ -83,16 +83,20 @@ __all__ = ["BlameReport", "DEFAULT_WINDOW_EVENTS", "FlightRecorder",
 MAX_BLAME_SEARCH = 16
 
 #: Event types the recorder keeps in its window by default: everything
-#: except the per-chunk firehose (transfer markers, directory polling),
-#: which is >90% of the stream and carries no forensic signal an
-#: incident needs — recording it would blow the audit overhead budget.
+#: except the firehose families (:data:`~repro.obs.bus.SAMPLED_EVENT_FAMILIES`
+#: — transfer markers, directory polling, per-cohort load records),
+#: which are >90% of the stream and carry no forensic signal an
+#: incident needs — recording them would blow the audit overhead budget.
+#: Deriving the exclusion from the samplable set also keeps the default
+#: window exact under any :class:`~repro.obs.bus.SamplingPolicy`: a
+#: thinned run's incident bundles are full-fidelity, not sampled.
 #: Pass ``event_types`` to the recorder to widen or narrow the window.
 DEFAULT_WINDOW_EVENTS = tuple(
     obj for _, obj in sorted(
         inspect.getmembers(_events_module, inspect.isclass)
     )
     if issubclass(obj, Event) and obj is not Event
-    and obj not in (TransferStarted, TransferCompleted, DirectoryRequest)
+    and obj not in SAMPLED_EVENT_FAMILIES
 )
 
 #: Contribution bookkeeping is pruned below this many iterations back.
@@ -231,6 +235,17 @@ class FlightRecorder:
     def window(self) -> List[Event]:
         """The current ring-buffer contents, oldest first."""
         return list(self._ring)
+
+    @property
+    def occupancy(self) -> int:
+        """Events currently held in the ring (for progress heartbeats).
+
+        Full fidelity is preserved under bus-level sampling: the
+        recorder's default window (``DEFAULT_WINDOW_EVENTS``) excludes
+        every samplable firehose family, so an incident window contains
+        exactly the events it would in an unsampled run.
+        """
+        return len(self._ring)
 
     # -- event handling ----------------------------------------------------------
 

@@ -11,6 +11,14 @@ tail-able and concatenation-safe — the raw material for timeline
 analysis, exposed on the command line as ``python -m repro.cli trace``.
 Path destinations are truncated by default; pass ``append=True`` to
 extend an existing timeline instead (e.g. across separate runs).
+
+Writes are buffered: encoded lines accumulate until either
+``flush_lines`` records or ``flush_bytes`` encoded bytes are pending,
+then reach the stream in one ``write`` — at cohort scale the
+per-event ``write`` call dominated export cost.  :meth:`~
+JsonlTraceExporter.close` (also via the context manager, including on
+the error path) always drains the buffer, so a crashed run still
+leaves every exported event on disk.
 """
 
 from __future__ import annotations
@@ -18,11 +26,15 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
-from typing import Dict, IO, Optional, Tuple, Union
+from typing import Dict, IO, List, Tuple, Union
 
 from .bus import EventBus
 
 __all__ = ["JsonlTraceExporter"]
+
+#: Default buffered-record and buffered-byte limits before a flush.
+DEFAULT_FLUSH_LINES = 256
+DEFAULT_FLUSH_BYTES = 64 * 1024
 
 
 class JsonlTraceExporter:
@@ -30,7 +42,9 @@ class JsonlTraceExporter:
 
     def __init__(self, bus: EventBus,
                  destination: Union[str, "os.PathLike[str]", IO[str]],
-                 append: bool = False):
+                 append: bool = False,
+                 flush_lines: int = DEFAULT_FLUSH_LINES,
+                 flush_bytes: int = DEFAULT_FLUSH_BYTES):
         """
         Parameters
         ----------
@@ -42,7 +56,15 @@ class JsonlTraceExporter:
         append:
             When ``destination`` is a path, open it in append mode
             instead of truncating.  Ignored for stream destinations.
+        flush_lines / flush_bytes:
+            Buffered-record / encoded-byte bounds; reaching either
+            drains the buffer to the stream.  ``flush_lines=1`` restores
+            unbuffered per-event writes.
         """
+        if flush_lines < 1:
+            raise ValueError("flush_lines must be >= 1")
+        if flush_bytes < 1:
+            raise ValueError("flush_bytes must be >= 1")
         if hasattr(destination, "write"):
             self._stream: IO[str] = destination  # type: ignore[assignment]
             self._owns_stream = False
@@ -50,19 +72,40 @@ class JsonlTraceExporter:
             self._stream = open(os.fspath(destination),
                                 "a" if append else "w", encoding="utf-8")
             self._owns_stream = True
+        self.flush_lines = int(flush_lines)
+        self.flush_bytes = int(flush_bytes)
         self.events_written = 0
+        self.flushes = 0
+        self._buffer: List[str] = []
+        self._buffered_bytes = 0
         self._fields: Dict[type, Tuple[str, ...]] = {}
         self._subscription = bus.subscribe(self._handle)
 
     # -- lifecycle ---------------------------------------------------------------
+
+    @property
+    def buffered(self) -> int:
+        """Records encoded but not yet written to the stream."""
+        return len(self._buffer)
+
+    def flush(self) -> None:
+        """Drain the buffer to the stream (no-op when empty)."""
+        if not self._buffer:
+            return
+        self._stream.write("".join(self._buffer))
+        self._buffer.clear()
+        self._buffered_bytes = 0
+        self.flushes += 1
 
     def close(self) -> None:
         """Unsubscribe and flush; closes the stream if we opened it."""
         self._subscription.cancel()
         if self._owns_stream:
             if not self._stream.closed:
+                self.flush()
                 self._stream.close()
         else:
+            self.flush()
             self._stream.flush()
 
     def __enter__(self) -> "JsonlTraceExporter":
@@ -82,5 +125,10 @@ class JsonlTraceExporter:
         record = {"event": cls.__name__}
         for name in names:
             record[name] = getattr(event, name)
-        self._stream.write(json.dumps(record, default=str) + "\n")
+        line = json.dumps(record, default=str) + "\n"
+        self._buffer.append(line)
+        self._buffered_bytes += len(line)
         self.events_written += 1
+        if (len(self._buffer) >= self.flush_lines
+                or self._buffered_bytes >= self.flush_bytes):
+            self.flush()

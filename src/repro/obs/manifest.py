@@ -65,11 +65,25 @@ class RunManifest:
     def collect(cls, registry: MetricsRegistry,
                 fingerprint: Optional[Dict[str, Any]] = None,
                 ) -> "RunManifest":
-        """Snapshot ``registry`` into a manifest."""
+        """Snapshot ``registry`` into a manifest.
+
+        Folds the registry's self-accounting in as gauges
+        (``obs.telemetry.bytes`` / ``obs.telemetry.peak_bytes`` /
+        ``obs.events.observed``) so ``compare`` gates observability-cost
+        regressions alongside protocol metrics.  All three are
+        deterministic functions of the event stream and the memory
+        model, never of wall-clock time, so manifest byte-identity
+        across replays is preserved.
+        """
+        gauges = dict(sorted(registry.counters.gauges().items()))
+        gauges["obs.telemetry.bytes"] = float(registry.telemetry_bytes())
+        gauges["obs.telemetry.peak_bytes"] = \
+            float(registry.peak_telemetry_bytes)
+        gauges["obs.events.observed"] = float(registry.events_observed)
         return cls(
             fingerprint=dict(fingerprint or {}),
             counters=dict(sorted(registry.counters.counters().items())),
-            gauges=dict(sorted(registry.counters.gauges().items())),
+            gauges=gauges,
             histograms={
                 name: histogram.summary()
                 for name, histogram in sorted(registry.histograms().items())

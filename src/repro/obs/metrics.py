@@ -4,14 +4,23 @@ Counters (:mod:`repro.obs.counters`) answer *how much*; this module
 answers *how distributed* and *over time*:
 
 - :class:`Histogram` — log-spaced buckets for OpenMetrics exposition
-  plus the raw observations, so p50/p95/p99 are exact (computed with
-  :func:`repro.analysis.stats.percentile`, not bucket interpolation).
+  backed by a :class:`~repro.obs.sketch.QuantileSketch`: below the
+  exactness threshold p50/p95/p99 are float-equal to
+  :func:`repro.analysis.stats.percentile`; above it the sketch bounds
+  memory at O(distinct buckets) with a guaranteed relative error, and
+  histograms :meth:`~Histogram.merge` across cohorts/shards.
 - :class:`TimeSeries` — a gauge sampled against the *simulated* clock,
-  optionally labelled (``net.link.utilization{link="trainer-0/up"}``).
+  optionally labelled (``net.link.utilization{link="trainer-0/up"}``),
+  with ring-buffer retention: when the buffer fills, every other
+  retained sample is dropped and the keep-stride doubles, so retention
+  is bounded and *deterministic* (a replay decimates identically).
+  Digests come from running accumulators over **all** records, so they
+  are unaffected by decimation.
 - :class:`MetricsRegistry` — an ordinary bus subscriber deriving
-  latency/size histograms from events the producers already publish:
-  transfer durations, DHT hops and latency, block sizes, upload /
-  collect / sync / publish phase times, commitment cost.
+  latency/size histograms from events the producers already publish,
+  and accounting its own cost (``events_observed``,
+  :meth:`~MetricsRegistry.telemetry_bytes`, ``peak_telemetry_bytes``)
+  so run manifests can gate observability regressions.
 - :class:`ResourceSampler` — a sim-clock probe recording per-link
   utilization, active flows, blockstore occupancy and directory queue
   depth into the registry's time series.
@@ -27,9 +36,8 @@ site as before (enforced by ``benchmarks/test_obs_overhead.py``).
 from __future__ import annotations
 
 import bisect
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
-from ..analysis.stats import percentile
 from .bus import EventBus
 from .counters import CountersRegistry
 from .events import (
@@ -42,11 +50,35 @@ from .events import (
     UpdateRegistered,
     UploadCompleted,
 )
+from .sketch import (
+    DEFAULT_EXACT_THRESHOLD,
+    DEFAULT_RELATIVE_ERROR,
+    QuantileSketch,
+)
 
-__all__ = ["Histogram", "TimeSeries", "MetricsRegistry", "ResourceSampler"]
+__all__ = [
+    "Histogram",
+    "TimeSeries",
+    "MetricsRegistry",
+    "ResourceSampler",
+    "DEFAULT_SERIES_RETENTION",
+]
 
 #: Label key/value pairs, kept as a sorted tuple so series hash cleanly.
 Labels = Tuple[Tuple[str, str], ...]
+
+#: Retained samples per series before decimation halves them.  Must be
+#: even so the doubled keep-stride stays aligned with the record grid.
+DEFAULT_SERIES_RETENTION = 4096
+
+#: Memory-model constants (platform-stable, not ``sys.getsizeof``):
+#: a retained ``(at, value)`` sample and a fixed per-object overhead.
+_BYTES_PER_SAMPLE = 64
+_SERIES_OVERHEAD = 256
+_HISTOGRAM_OVERHEAD = 256
+
+#: Sampler ticks between peak-memory refreshes (plus one on stop).
+_FOOTPRINT_REFRESH_TICKS = 32
 
 
 def _freeze_labels(labels: Dict[str, str]) -> Labels:
@@ -54,21 +86,25 @@ def _freeze_labels(labels: Dict[str, str]) -> Labels:
 
 
 class Histogram:
-    """Log-spaced bucket histogram that also keeps exact observations.
+    """Log-spaced bucket histogram backed by a quantile sketch.
 
     Bucket upper bounds are ``lo * growth**k`` for ``k = 0, 1, ...``
     until ``hi`` is covered; observations above the last bound land in
     the implicit ``+Inf`` bucket, observations at or below ``lo`` in the
     first.  The buckets exist for the OpenMetrics exposition (cumulative
-    ``le`` semantics); quantiles are computed from the raw values, so
-    they are exact rather than bucket-interpolated.
+    ``le`` semantics); quantiles come from the sketch — exact (raw
+    values retained, float-equal to
+    :func:`repro.analysis.stats.percentile`) up to ``max_exact``
+    observations, bounded-relative-error estimates beyond.
     """
 
-    __slots__ = ("name", "unit", "bounds", "bucket_counts", "_values",
-                 "total", "minimum", "maximum")
+    __slots__ = ("name", "unit", "bounds", "bucket_counts",
+                 "_sketch", "_summary")
 
     def __init__(self, name: str, unit: str = "",
-                 lo: float = 1e-3, hi: float = 1e4, growth: float = 2.0):
+                 lo: float = 1e-3, hi: float = 1e4, growth: float = 2.0,
+                 max_exact: int = DEFAULT_EXACT_THRESHOLD,
+                 relative_error: float = DEFAULT_RELATIVE_ERROR):
         if lo <= 0 or hi <= lo:
             raise ValueError("need 0 < lo < hi")
         if growth <= 1.0:
@@ -82,43 +118,86 @@ class Histogram:
         #: Per-bucket (non-cumulative) counts; index ``len(bounds)`` is
         #: the +Inf overflow bucket.
         self.bucket_counts = [0] * (len(bounds) + 1)
-        self._values: List[float] = []
-        self.total = 0.0
-        self.minimum = float("inf")
-        self.maximum = float("-inf")
+        self._sketch = QuantileSketch(
+            max_exact=max_exact, relative_error=relative_error)
+        self._summary: Optional[Dict[str, float]] = None
 
     # -- recording ---------------------------------------------------------------
 
     def observe(self, value: float) -> None:
         """Record one observation."""
         value = float(value)
-        self._values.append(value)
-        self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        self._summary = None
+        self._sketch.add(value)
         self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+
+    def merge(self, other: "Histogram") -> "Histogram":
+        """Fold another histogram (same bucket layout) into this one.
+
+        Enables cross-cohort/shard aggregation without raw-value
+        exchange; bucket counts and sketch state merge
+        order-independently.  Returns ``self``.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge {other.name!r} into {self.name!r}: "
+                "bucket layouts differ")
+        self._summary = None
+        for index, bucket_count in enumerate(other.bucket_counts):
+            self.bucket_counts[index] += bucket_count
+        self._sketch.merge(other._sketch)
+        return self
 
     # -- reading -----------------------------------------------------------------
 
     @property
+    def sketch(self) -> QuantileSketch:
+        """The backing quantile sketch (read-only use)."""
+        return self._sketch
+
+    @property
+    def exact(self) -> bool:
+        """True while quantiles are computed from retained raw values."""
+        return self._sketch.exact
+
+    @property
     def count(self) -> int:
-        return len(self._values)
+        return self._sketch.count
+
+    @property
+    def total(self) -> float:
+        return self._sketch.total
+
+    @property
+    def minimum(self) -> float:
+        return self._sketch.minimum
+
+    @property
+    def maximum(self) -> float:
+        return self._sketch.maximum
 
     @property
     def mean(self) -> float:
-        return self.total / len(self._values) if self._values else 0.0
+        return self._sketch.mean
 
     def percentile(self, q: float) -> float:
-        """Exact q-th percentile of everything observed (0.0 if empty)."""
-        if not self._values:
+        """The q-th percentile (0.0 if empty): exact below the
+        threshold, within the sketch's relative error above it."""
+        if self._sketch.count == 0:
             return 0.0
-        return percentile(self._values, q)
+        return self._sketch.percentile(q)
 
     def values(self) -> List[float]:
-        """A copy of the raw observations, in arrival order."""
-        return list(self._values)
+        """A copy of the raw observations, in arrival order.
+
+        Raises :class:`ValueError` once the histogram has spilled to
+        sketch mode (prefer :meth:`iter_values` or :meth:`summary`).
+        """
+        return self._sketch.values()
+
+    def iter_values(self) -> Iterator[float]:
+        """Iterate raw observations without copying (exact mode only)."""
+        return self._sketch.iter_values()
 
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
         """``(upper_bound, cumulative_count)`` pairs, OpenMetrics-style.
@@ -135,58 +214,125 @@ class Histogram:
         return pairs
 
     def summary(self) -> Dict[str, float]:
-        """The digest the run manifest records."""
-        if not self._values:
-            return {"count": 0}
-        return {
-            "count": self.count,
-            "sum": self.total,
-            "min": self.minimum,
-            "max": self.maximum,
-            "mean": self.mean,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
-        }
+        """The digest the run manifest records (cached between
+        observations, so exposition passes don't recompute quantiles)."""
+        if self._summary is None:
+            if self.count == 0:
+                self._summary = {"count": 0}
+            else:
+                self._summary = {
+                    "count": self.count,
+                    "sum": self.total,
+                    "min": self.minimum,
+                    "max": self.maximum,
+                    "mean": self.mean,
+                    "p50": self.percentile(50.0),
+                    "p95": self.percentile(95.0),
+                    "p99": self.percentile(99.0),
+                }
+        return dict(self._summary)
+
+    def footprint_bytes(self) -> int:
+        """Deterministic memory model: sketch state plus bucket array."""
+        return (_HISTOGRAM_OVERHEAD + len(self.bucket_counts) * 8
+                + self._sketch.footprint_bytes())
 
     def __repr__(self) -> str:
-        return f"<Histogram {self.name} n={self.count}>"
+        mode = "exact" if self.exact else "sketch"
+        return f"<Histogram {self.name} n={self.count} {mode}>"
 
 
 class TimeSeries:
-    """A gauge sampled against the simulated clock."""
+    """A gauge sampled against the simulated clock, with bounded
+    retention.
 
-    __slots__ = ("name", "labels", "samples")
+    When ``max_samples`` is set (the registry default) and the buffer
+    fills, every other retained sample is dropped and the keep-stride
+    doubles — a deterministic function of the record count alone, so a
+    seeded replay retains byte-identical samples.  :meth:`digest` is
+    computed from running accumulators over *all* records and is
+    therefore identical whether or not decimation occurred.
+    """
 
-    def __init__(self, name: str, labels: Labels = ()):
+    __slots__ = ("name", "labels", "samples", "max_samples",
+                 "_stride", "_next_keep",
+                 "_count", "_total", "_min", "_max", "_last")
+
+    def __init__(self, name: str, labels: Labels = (),
+                 max_samples: int = 0):
+        if max_samples and (max_samples < 2 or max_samples % 2):
+            raise ValueError("max_samples must be 0 or an even int >= 2")
         self.name = name
         self.labels = labels
-        #: ``(simulated_time, value)`` pairs in record order.
+        #: Retained ``(simulated_time, value)`` pairs in record order;
+        #: a decimated subset of all records once the buffer has filled.
         self.samples: List[Tuple[float, float]] = []
+        self.max_samples = int(max_samples)
+        self._stride = 1
+        self._next_keep = 0
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._last = 0.0
 
     def record(self, at: float, value: float) -> None:
-        self.samples.append((float(at), float(value)))
+        value = float(value)
+        index = self._count
+        self._count += 1
+        self._total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        self._last = value
+        if index != self._next_keep:
+            return  # decimated: off the keep-stride grid
+        if self.max_samples and len(self.samples) == self.max_samples:
+            # Halve retention, double the stride.  The incoming record
+            # index is max_samples * stride, which (max_samples even)
+            # sits on the doubled grid, as do the survivors.
+            del self.samples[1::2]
+            self._stride *= 2
+        self.samples.append((float(at), value))
+        self._next_keep = index + self._stride
+
+    # -- reading -----------------------------------------------------------------
 
     @property
     def count(self) -> int:
+        """Total records seen (retained or not)."""
+        return self._count
+
+    @property
+    def retained(self) -> int:
+        """Samples currently held in the ring."""
         return len(self.samples)
 
     @property
+    def stride(self) -> int:
+        """Current keep-stride (1 until the first decimation)."""
+        return self._stride
+
+    @property
     def last(self) -> float:
-        return self.samples[-1][1] if self.samples else 0.0
+        return self._last
 
     def digest(self) -> Dict[str, float]:
-        """Count/min/max/mean/last digest for the run manifest."""
-        if not self.samples:
+        """Count/min/max/mean/last digest over *all* records."""
+        if not self._count:
             return {"count": 0}
-        values = [value for _, value in self.samples]
         return {
-            "count": len(values),
-            "min": min(values),
-            "max": max(values),
-            "mean": sum(values) / len(values),
-            "last": values[-1],
+            "count": self._count,
+            "min": self._min,
+            "max": self._max,
+            "mean": self._total / self._count,
+            "last": self._last,
         }
+
+    def footprint_bytes(self) -> int:
+        """Deterministic memory model of the retained samples."""
+        return _SERIES_OVERHEAD + len(self.samples) * _BYTES_PER_SAMPLE
 
     def key(self) -> str:
         """Stable display key: ``name{k=v,...}`` (plain name if unlabelled)."""
@@ -218,6 +364,14 @@ class MetricsRegistry:
     passed in, so a single ``close()`` detaches *everything* this
     registry attached (the counters-detach regression is pinned by
     ``tests/test_obs_exporters.py``).
+
+    Memory is bounded by construction: histograms spill to sketches
+    past ``histogram_max_exact`` observations and series decimate past
+    ``series_retention`` samples, so attaching a registry to a
+    10^4-population cohort run costs O(metrics), not O(events).  The
+    registry also meters itself — :attr:`events_observed`,
+    :meth:`telemetry_bytes` and :attr:`peak_telemetry_bytes` feed the
+    run manifest's obs-cost gauges.
     """
 
     #: Event type -> handler method name (class-level for coverage
@@ -239,10 +393,16 @@ class MetricsRegistry:
         return tuple(cls._HANDLERS)
 
     def __init__(self, bus: EventBus,
-                 counters: Optional[CountersRegistry] = None):
+                 counters: Optional[CountersRegistry] = None,
+                 histogram_max_exact: int = DEFAULT_EXACT_THRESHOLD,
+                 relative_error: float = DEFAULT_RELATIVE_ERROR,
+                 series_retention: int = DEFAULT_SERIES_RETENTION):
         self._owns_counters = counters is None
         self.counters = counters if counters is not None \
             else CountersRegistry(bus)
+        self.series_retention = int(series_retention)
+        self.events_observed = 0
+        self.peak_telemetry_bytes = 0
         self._histograms: Dict[str, Histogram] = {}
         for name, unit, layout in (
             ("net.transfer.duration", "seconds", _SECONDS),
@@ -257,7 +417,11 @@ class MetricsRegistry:
             ("protocol.sync.duration", "seconds", _SECONDS),
             ("protocol.commit.seconds", "seconds", _SECONDS),
         ):
-            self._histograms[name] = Histogram(name, unit=unit, **layout)
+            self._histograms[name] = Histogram(
+                name, unit=unit,
+                max_exact=histogram_max_exact,
+                relative_error=relative_error,
+                **layout)
         self._series: Dict[Tuple[str, Labels], TimeSeries] = {}
         self._dispatch = {
             event_type: getattr(self, method)
@@ -272,6 +436,7 @@ class MetricsRegistry:
         self._subscription.cancel()
         if self._owns_counters:
             self.counters.close()
+        self.telemetry_bytes()  # final peak refresh
 
     def __enter__(self) -> "MetricsRegistry":
         return self
@@ -292,7 +457,8 @@ class MetricsRegistry:
         key = (name, _freeze_labels(labels))
         series = self._series.get(key)
         if series is None:
-            series = TimeSeries(name, key[1])
+            series = TimeSeries(
+                name, key[1], max_samples=self.series_retention)
             self._series[key] = series
         return series
 
@@ -310,9 +476,33 @@ class MetricsRegistry:
             merged[series.key()] = series.digest()
         return merged
 
+    # -- self-accounting ---------------------------------------------------------
+
+    def telemetry_bytes(self) -> int:
+        """Modelled resident telemetry memory; refreshes the peak.
+
+        A deterministic arithmetic model (sketch buckets, retained
+        samples — see :mod:`repro.obs.sketch`), so the manifests and CI
+        budgets built on it are platform-stable.
+        """
+        resident = 0
+        for histogram in self._histograms.values():
+            resident += histogram.footprint_bytes()
+        for series in self._series.values():
+            resident += series.footprint_bytes()
+        if resident > self.peak_telemetry_bytes:
+            self.peak_telemetry_bytes = resident
+        return resident
+
+    def sketch_histograms(self) -> int:
+        """How many histograms have spilled past exact mode."""
+        return sum(1 for histogram in self._histograms.values()
+                   if not histogram.exact)
+
     # -- event handlers ----------------------------------------------------------
 
     def _handle(self, event) -> None:
+        self.events_observed += 1
         self._dispatch[type(event)](event)
 
     def _on_transfer(self, event) -> None:
@@ -371,6 +561,10 @@ class ResourceSampler:
       ``ipfs.blockstore.node.bytes{node=...}``;
     - ``directory.queue.depth`` — requests waiting in the directory's
       inbox.
+
+    Each tick ends by refreshing the registry's telemetry-memory peak,
+    so ``peak_telemetry_bytes`` tracks the high-water mark even when
+    series later decimate.
 
     The sampler is pull-based and opt-in: an unobserved run never
     constructs one, so the zero-subscriber overhead contract holds — the
@@ -440,6 +634,7 @@ class ResourceSampler:
         """Stop sampling; safe to call more than once."""
         self.active = False
         self._epoch += 1
+        self.registry.telemetry_bytes()  # final peak refresh
 
     # Alias so samplers read like the other obs resources.
     close = stop
@@ -487,6 +682,14 @@ class ResourceSampler:
         if self.directory is not None:
             self._series("directory.queue.depth").record(
                 now, len(self.directory.endpoint.inbox.items))
+        # Refresh the registry's peak-memory account periodically rather
+        # than every tick: the footprint walk is O(series + histograms)
+        # and at cohort scale it dominated the sampler.  The cadence is
+        # a pure function of samples_taken, so the recorded peak is as
+        # deterministic as the per-tick refresh was; registry.close()
+        # (and stop()) take the final reading.
+        if self.samples_taken % _FOOTPRINT_REFRESH_TICKS == 0:
+            registry.telemetry_bytes()
 
     # -- internals ---------------------------------------------------------------
 

@@ -110,12 +110,22 @@ class InvariantMonitors:
     (When pairing with a :class:`~repro.obs.forensics.FlightRecorder`,
     subscribe the recorder *first* so its ring buffer already holds the
     triggering event when a nested ``InvariantViolated`` reaches it.)
+
+    Exactness under bus-level sampling: every event family the monitors
+    consume (byte conservation reads ``BlockFetched``/``BytesReceived``,
+    never the transfer firehose) is outside
+    :data:`~repro.obs.bus.SAMPLED_EVENT_FAMILIES`, so a
+    :class:`~repro.obs.bus.SamplingPolicy` acts as a pre-sample tap:
+    the monitors see the full stream and their checks stay exact at any
+    sample rate (disjointness pinned by ``tests/test_obs_progress.py``).
     """
 
     def __init__(self, bus: EventBus):
         self.bus = bus
         #: Every violation caught, in detection order.
         self.violations: List[InvariantViolated] = []
+        #: Events inspected (for progress/coverage reporting).
+        self.events_checked = 0
         self._finalized = False
 
         # clock / iteration monotonicity
@@ -201,6 +211,7 @@ class InvariantMonitors:
     def _handle(self, event: Event) -> None:
         if isinstance(event, InvariantViolated):
             return  # our own output (or a peer monitor's): never re-checked
+        self.events_checked += 1
         at = getattr(event, "at", None)
         if at is not None:
             if at < self._last_at - _CLOCK_TOL:

@@ -36,7 +36,7 @@ from typing import Dict, List, NamedTuple, Tuple
 
 from .metrics import MetricsRegistry
 
-__all__ = ["render_openmetrics", "parse_openmetrics",
+__all__ = ["render_openmetrics", "render_histogram", "parse_openmetrics",
            "MetricFamily", "Sample"]
 
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
@@ -87,15 +87,7 @@ def render_openmetrics(registry: MetricsRegistry) -> str:
         lines.append(f"{safe} {_format_value(value)}")
 
     for name, histogram in sorted(registry.histograms().items()):
-        safe = metric_name(name)
-        lines.append(f"# TYPE {safe} histogram")
-        if histogram.unit:
-            lines.append(f"# UNIT {safe} {histogram.unit}")
-        for bound, cumulative in histogram.cumulative_buckets():
-            le = "+Inf" if math.isinf(bound) else _format_value(bound)
-            lines.append(f'{safe}_bucket{{le="{le}"}} {cumulative}')
-        lines.append(f"{safe}_count {histogram.count}")
-        lines.append(f"{safe}_sum {_format_value(histogram.total)}")
+        lines.extend(_histogram_lines(histogram))
 
     seen_series = set()
     for series in registry.series():
@@ -109,6 +101,31 @@ def render_openmetrics(registry: MetricsRegistry) -> str:
 
     lines.append("# EOF")
     return "\n".join(lines) + "\n"
+
+
+def _histogram_lines(histogram) -> List[str]:
+    safe = metric_name(histogram.name)
+    lines = [f"# TYPE {safe} histogram"]
+    if histogram.unit:
+        lines.append(f"# UNIT {safe} {histogram.unit}")
+    for bound, cumulative in histogram.cumulative_buckets():
+        le = "+Inf" if math.isinf(bound) else _format_value(bound)
+        lines.append(f'{safe}_bucket{{le="{le}"}} {cumulative}')
+    lines.append(f"{safe}_count {histogram.count}")
+    lines.append(f"{safe}_sum {_format_value(histogram.total)}")
+    return lines
+
+
+def render_histogram(histogram) -> str:
+    """One histogram as a standalone OpenMetrics document.
+
+    Exposition depends only on the fixed bucket layout and cumulative
+    counts — never on whether the backing sketch is in exact or
+    spilled mode, or on the order shard histograms were merged in — so
+    the text is stable across cohort merge orders (pinned by the
+    round-trip tests).
+    """
+    return "\n".join(_histogram_lines(histogram) + ["# EOF"]) + "\n"
 
 
 class Sample(NamedTuple):

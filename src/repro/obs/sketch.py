@@ -1,0 +1,311 @@
+"""Mergeable log-bucket quantile sketch for bounded-memory histograms.
+
+At figure scale (16 trainers) :class:`~repro.obs.metrics.Histogram`
+kept every raw observation so p50/p95/p99 were exact.  At cohort scale
+(10^4-10^5 participants) that store is O(events); this module replaces
+it with a two-mode structure:
+
+- **Exact mode** (up to ``max_exact`` observations): raw values are
+  retained and quantiles are float-equal to
+  :func:`repro.analysis.stats.percentile` — the figure-scale behaviour,
+  golden-tested in ``tests/test_obs_sketch.py``.
+- **Sketch mode** (above the threshold): values spill into DDSketch-style
+  log-gamma buckets.  With ``gamma = (1 + e) / (1 - e)`` a positive
+  value ``v`` lands in bucket ``ceil(log_gamma(v))`` and is estimated as
+  ``2 * gamma**i / (gamma + 1)``, which is within relative error ``e``
+  of every value the bucket can hold.  Memory is O(distinct buckets),
+  independent of the observation count.
+
+Bucket indices are *absolute* (a function of the value and ``gamma``
+only), so :meth:`QuantileSketch.merge` is order-independent: merging
+shard A into B yields the same buckets, counts, min/max and quantile
+estimates as merging B into A.  Only the floating-point ``total`` can
+differ by an ulp across *multi-way* merge orders (float addition is
+commutative but not associative); merge shards in a deterministic
+order when byte-identical sums matter.
+
+Zeros are counted in a dedicated slot and negative values in a mirrored
+bucket map, so the sketch accepts any float the histograms can see.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = [
+    "QuantileSketch",
+    "DEFAULT_EXACT_THRESHOLD",
+    "DEFAULT_RELATIVE_ERROR",
+]
+
+#: Observations retained verbatim before spilling to buckets.  4096
+#: floats is ~32 KiB — far above anything a figure-scale run produces
+#: (so those stay exact) and negligible at cohort scale.
+DEFAULT_EXACT_THRESHOLD = 4096
+
+#: Default relative-error bound for sketch-mode quantiles (1%).
+DEFAULT_RELATIVE_ERROR = 0.01
+
+#: Arithmetic memory model (see :meth:`QuantileSketch.footprint_bytes`):
+#: bytes per retained exact float and per occupied sketch bucket.  These
+#: are deliberate *model* constants — a CPython float in a list costs a
+#: pointer plus a 24-byte object; a dict slot costs roughly 64 bytes of
+#: key/value/index — chosen so footprints are deterministic across
+#: platforms rather than ``sys.getsizeof``-exact.
+_BYTES_PER_EXACT_VALUE = 32
+_BYTES_PER_BUCKET = 64
+_FIXED_OVERHEAD = 256
+
+
+class QuantileSketch:
+    """Bounded-memory quantile estimator with an exact small-n mode.
+
+    ``add`` values, read ``count``/``total``/``minimum``/``maximum``/
+    ``mean`` and :meth:`percentile`.  ``merge`` folds another sketch in
+    (same ``relative_error`` required), enabling cross-cohort and
+    cross-shard aggregation without raw-value exchange.
+    """
+
+    __slots__ = ("max_exact", "relative_error", "_gamma", "_log_gamma",
+                 "count", "total", "minimum", "maximum",
+                 "_exact", "_sorted", "_positive", "_negative", "_zeros")
+
+    def __init__(self, max_exact: int = DEFAULT_EXACT_THRESHOLD,
+                 relative_error: float = DEFAULT_RELATIVE_ERROR):
+        if max_exact < 0:
+            raise ValueError("max_exact must be >= 0")
+        if not 0.0 < relative_error < 1.0:
+            raise ValueError("relative_error must be in (0, 1)")
+        self.max_exact = int(max_exact)
+        self.relative_error = float(relative_error)
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self._gamma)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+        #: Raw values while in exact mode; ``None`` once spilled.
+        self._exact: List[float] = []
+        self._sorted: List[float] = []  # cached sorted view; [] = stale
+        self._positive: Dict[int, int] = {}
+        self._negative: Dict[int, int] = {}
+        self._zeros = 0
+
+    # -- recording ---------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+        if self._exact is not None:
+            self._exact.append(value)
+            self._sorted = []
+            if len(self._exact) > self.max_exact:
+                self._spill()
+        else:
+            self._bucket_add(value, 1)
+
+    def _index(self, magnitude: float) -> int:
+        return math.ceil(math.log(magnitude) / self._log_gamma)
+
+    def _bucket_add(self, value: float, n: int) -> None:
+        if value > 0.0:
+            key = self._index(value)
+            self._positive[key] = self._positive.get(key, 0) + n
+        elif value < 0.0:
+            key = self._index(-value)
+            self._negative[key] = self._negative.get(key, 0) + n
+        else:
+            self._zeros += n
+
+    def _spill(self) -> None:
+        """Leave exact mode: fold retained values into buckets."""
+        for value in self._exact:
+            self._bucket_add(value, 1)
+        self._exact = None
+        self._sorted = []
+
+    # -- reading -----------------------------------------------------------------
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is retained verbatim."""
+        return self._exact is not None
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def bucket_count(self) -> int:
+        """Occupied sketch buckets (0 while exact)."""
+        occupied = len(self._positive) + len(self._negative)
+        return occupied + (1 if self._zeros else 0)
+
+    def values(self) -> List[float]:
+        """The raw observations in arrival order (exact mode only)."""
+        if self._exact is None:
+            raise ValueError(
+                "sketch spilled past max_exact=%d; raw values are gone "
+                "(use percentile()/summary instead)" % self.max_exact)
+        return list(self._exact)
+
+    def iter_values(self) -> Iterator[float]:
+        """Iterate the raw observations without copying (exact mode)."""
+        if self._exact is None:
+            raise ValueError(
+                "sketch spilled past max_exact=%d; raw values are gone "
+                "(use percentile()/summary instead)" % self.max_exact)
+        return iter(self._exact)
+
+    def percentile(self, q: float) -> float:
+        """The q-th percentile (exact below the threshold, else within
+        ``relative_error`` of the true quantile value; 0.0 if empty)."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile must be within [0, 100]")
+        if self.count == 0:
+            return 0.0
+        if self._exact is not None:
+            return self._exact_percentile(q)
+        return self._sketch_percentile(q)
+
+    def _exact_percentile(self, q: float) -> float:
+        # Same interpolation as repro.analysis.stats.percentile, on a
+        # cached sorted view so exposition passes don't re-sort — the
+        # float-equality golden test pins the equivalence.
+        if not self._sorted:
+            self._sorted = sorted(self._exact)
+        ordered = self._sorted
+        if len(ordered) == 1:
+            return float(ordered[0])
+        position = (len(ordered) - 1) * q / 100.0
+        lower = math.floor(position)
+        upper = math.ceil(position)
+        if lower == upper:
+            return float(ordered[lower])
+        weight = position - lower
+        return float(ordered[lower] * (1 - weight)
+                     + ordered[upper] * weight)
+
+    def _sketch_percentile(self, q: float) -> float:
+        # Walk buckets in value order (most-negative first) until the
+        # cumulative count covers the target rank, then return the
+        # bucket's midpoint estimate clamped into [minimum, maximum].
+        target = (self.count - 1) * (q / 100.0)
+        cumulative = 0
+        estimate = self.maximum
+        for value_rank, bucket_count in self._ordered_buckets():
+            cumulative += bucket_count
+            if cumulative > target:
+                estimate = value_rank
+                break
+        return min(max(estimate, self.minimum), self.maximum)
+
+    def _ordered_buckets(self) -> Iterator[Tuple[float, int]]:
+        """(estimate, count) pairs in ascending value order."""
+        gamma = self._gamma
+        scale = 2.0 / (gamma + 1.0)
+        for key in sorted(self._negative, reverse=True):
+            yield -(gamma ** key) * scale, self._negative[key]
+        if self._zeros:
+            yield 0.0, self._zeros
+        for key in sorted(self._positive):
+            yield (gamma ** key) * scale, self._positive[key]
+
+    def bucket_bounds(self) -> List[Tuple[float, float, int]]:
+        """``(lower, upper, count)`` per occupied bucket, ascending.
+
+        Stable across merge order (indices are absolute), which the
+        OpenMetrics round-trip tests rely on.  Exact-mode sketches
+        report one degenerate ``(v, v, 1)``-style bucket per distinct
+        value via a spill-free view.
+        """
+        gamma = self._gamma
+        bounds: List[Tuple[float, float, int]] = []
+        if self._exact is not None:
+            if not self._sorted:
+                self._sorted = sorted(self._exact)
+            for value in self._sorted:
+                if bounds and bounds[-1][0] == value:
+                    lower, upper, count = bounds[-1]
+                    bounds[-1] = (lower, upper, count + 1)
+                else:
+                    bounds.append((value, value, 1))
+            return bounds
+        for key in sorted(self._negative, reverse=True):
+            bounds.append((-(gamma ** key), -(gamma ** (key - 1)),
+                           self._negative[key]))
+        if self._zeros:
+            bounds.append((0.0, 0.0, self._zeros))
+        for key in sorted(self._positive):
+            bounds.append((gamma ** (key - 1), gamma ** key,
+                           self._positive[key]))
+        return bounds
+
+    # -- merging -----------------------------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold ``other`` into this sketch; returns ``self``.
+
+        Exact + exact stays exact when the union fits under
+        ``max_exact``; any other combination spills both sides.  The
+        resulting buckets, counts, extrema and quantiles are identical
+        regardless of merge direction.
+        """
+        if other.relative_error != self.relative_error:
+            raise ValueError(
+                "cannot merge sketches with different relative_error "
+                f"({self.relative_error} vs {other.relative_error})")
+        if other.count == 0:
+            return self
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        if (self._exact is not None and other._exact is not None
+                and len(self._exact) + len(other._exact) <= self.max_exact):
+            self._exact.extend(other._exact)
+            self._sorted = []
+            return self
+        if self._exact is not None:
+            self._spill()
+        if other._exact is not None:
+            for value in other._exact:
+                self._bucket_add(value, 1)
+        else:
+            for key, bucket_count in other._positive.items():
+                self._positive[key] = \
+                    self._positive.get(key, 0) + bucket_count
+            for key, bucket_count in other._negative.items():
+                self._negative[key] = \
+                    self._negative.get(key, 0) + bucket_count
+            self._zeros += other._zeros
+        return self
+
+    # -- accounting --------------------------------------------------------------
+
+    def footprint_bytes(self) -> int:
+        """Deterministic model of resident memory (see module constants).
+
+        An arithmetic model rather than ``sys.getsizeof`` so telemetry
+        budgets in manifests and CI gates are platform-stable.
+        """
+        if self._exact is not None:
+            retained = len(self._exact) * _BYTES_PER_EXACT_VALUE
+            if self._sorted:
+                retained *= 2
+            return _FIXED_OVERHEAD + retained
+        occupied = len(self._positive) + len(self._negative)
+        return _FIXED_OVERHEAD + occupied * _BYTES_PER_BUCKET
+
+    def __repr__(self) -> str:
+        mode = "exact" if self.exact else f"sketch:{self.bucket_count}"
+        return f"<QuantileSketch n={self.count} {mode}>"

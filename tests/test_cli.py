@@ -225,3 +225,59 @@ def test_scale_detects_a_regression(tmp_path, capsys):
 
     code = main(small + ["--baseline", str(baseline), "--warn-only"])
     assert code == 0
+
+
+def test_scale_observed_with_progress_and_status(tmp_path, capsys):
+    """An observed sweep reports telemetry cost in the table and the
+    manifest, streams heartbeats to JSONL, and `status` reads them."""
+    import json
+
+    manifest_path = tmp_path / "BENCH_scale.json"
+    progress_path = tmp_path / "progress.jsonl"
+    observed = ["scale", "--populations", "40", "--sample", "4",
+                "--cohorts", "4", "--partitions", "2", "--params", "2000",
+                "--ipfs-nodes", "4", "--observe",
+                "--event-sample-rate", "0.5",
+                "--progress", str(progress_path)]
+    assert main(observed + ["--output", str(manifest_path)]) == 0
+    out = capsys.readouterr().out
+    assert "telemetry peak (B)" in out
+
+    manifest = json.loads(manifest_path.read_text())
+    assert manifest["counters"]["scale.p40.telemetry_peak_bytes"] > 0
+    assert manifest["counters"]["scale.p40.events_observed"] > 0
+
+    records = [json.loads(line)
+               for line in progress_path.read_text().splitlines()]
+    assert records
+    assert records[-1]["label"] == "p40"
+    assert records[-1]["peak_telemetry_bytes"] > 0
+
+    # A rerun against the observed baseline is regression-free: the
+    # telemetry counters are deterministic.
+    assert main(observed + ["--baseline", str(manifest_path),
+                            "--threshold", "0.5"]) == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+    assert main(["status", str(progress_path)]) == 0
+    status_out = capsys.readouterr().out
+    assert "p40" in status_out
+
+
+def test_status_missing_file_fails_cleanly(tmp_path, capsys):
+    assert main(["status", str(tmp_path / "absent.jsonl")]) == 1
+    capsys.readouterr()
+
+
+def test_status_tail_limits_records(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "progress.jsonl"
+    path.write_text("".join(
+        json.dumps({"seq": index, "label": "p40", "iteration": index,
+                    "sim_seconds": float(index), "events": index,
+                    "events_per_s": 1.0, "wall_seconds": 0.1}) + "\n"
+        for index in range(5)))
+    assert main(["status", str(path), "--tail", "2"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("[p40]") == 2

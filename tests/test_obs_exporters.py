@@ -3,6 +3,8 @@
 import io
 import json
 
+import pytest
+
 from repro.cli import main
 from repro.net import Network, TransferTrace, mbps
 from repro.obs import CountersRegistry, EventBus, JsonlTraceExporter
@@ -96,6 +98,63 @@ def test_exporter_append_mode_extends_an_existing_timeline(tmp_path):
             bus.publish(IterationStarted(at=0.0, iteration=iteration))
     records = [json.loads(line) for line in path.read_text().splitlines()]
     assert [r["iteration"] for r in records] == [0, 1]
+
+
+def test_exporter_buffers_until_the_line_bound(tmp_path):
+    bus = EventBus()
+    stream = io.StringIO()
+    exporter = JsonlTraceExporter(bus, stream, flush_lines=3,
+                                  flush_bytes=1 << 20)
+    bus.publish(IterationStarted(at=0.0, iteration=0))
+    bus.publish(IterationStarted(at=1.0, iteration=1))
+    assert exporter.buffered == 2
+    assert stream.getvalue() == ""  # nothing reaches the stream yet
+    bus.publish(IterationStarted(at=2.0, iteration=2))
+    assert exporter.buffered == 0
+    assert exporter.flushes == 1
+    assert len(stream.getvalue().splitlines()) == 3
+    exporter.close()
+    assert exporter.flushes == 1  # empty buffer: close adds no flush
+
+
+def test_exporter_flushes_on_the_byte_bound():
+    bus = EventBus()
+    stream = io.StringIO()
+    exporter = JsonlTraceExporter(bus, stream, flush_lines=10_000,
+                                  flush_bytes=64)
+    bus.publish(IterationStarted(at=0.0, iteration=0))
+    assert exporter.buffered <= 1
+    bus.publish(IterationStarted(at=1.0, iteration=1))
+    # Two ~45-byte lines exceed 64 buffered bytes: drained.
+    assert exporter.buffered == 0
+    assert len(stream.getvalue().splitlines()) == 2
+    exporter.close()
+
+
+def test_exporter_final_flush_is_crash_safe(tmp_path):
+    """A run that dies mid-buffer still leaves every event on disk:
+    the context manager's error path drains the buffer."""
+    bus = EventBus()
+    path = tmp_path / "trace.jsonl"
+    with pytest.raises(RuntimeError):
+        with JsonlTraceExporter(bus, path, flush_lines=1000) as exporter:
+            for index in range(5):
+                bus.publish(IterationStarted(at=float(index),
+                                             iteration=index))
+            assert exporter.buffered == 5  # below both bounds
+            raise RuntimeError("simulated crash")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 5
+    assert [json.loads(line)["iteration"] for line in lines] == \
+        [0, 1, 2, 3, 4]
+
+
+def test_exporter_rejects_bad_buffer_bounds():
+    bus = EventBus()
+    with pytest.raises(ValueError):
+        JsonlTraceExporter(bus, io.StringIO(), flush_lines=0)
+    with pytest.raises(ValueError):
+        JsonlTraceExporter(bus, io.StringIO(), flush_bytes=0)
 
 
 # -- CountersRegistry ------------------------------------------------------------

@@ -540,3 +540,183 @@ def test_cli_metrics_failing_run_still_writes_exposition(
     assert code == 1
     parse_openmetrics(out.read_text())  # partial but valid
     assert "run failed" in capsys.readouterr().err
+
+
+# -- sketch-backed histograms at scale -------------------------------------------
+
+
+def test_histogram_spills_to_sketch_mode_past_the_threshold():
+    histogram = Histogram("x", lo=1.0, hi=1e3, growth=10.0, max_exact=50)
+    values = [float(v) for v in range(1, 201)]
+    for value in values:
+        histogram.observe(value)
+    assert not histogram.exact
+    with pytest.raises(ValueError):
+        histogram.values()
+    with pytest.raises(ValueError):
+        histogram.iter_values()
+    # Exact accounting survives the spill; quantiles stay within the
+    # sketch's relative-error bound of the exact answer.
+    assert histogram.count == 200
+    assert histogram.total == sum(values)
+    assert histogram.minimum == 1.0 and histogram.maximum == 200.0
+    eps = histogram.sketch.relative_error
+    for q in (50.0, 95.0, 99.0):
+        exact = percentile(values, q)
+        assert abs(histogram.percentile(q) - exact) <= exact * eps + 1e-9
+    # Bucket counts are sketch-independent: still per-observation exact.
+    assert sum(histogram.bucket_counts) == 200
+
+
+def test_histogram_summary_is_cached_and_copied():
+    histogram = Histogram("x")
+    histogram.observe(2.0)
+    first = histogram.summary()
+    first["count"] = -1  # caller mutation must not leak back
+    assert histogram.summary()["count"] == 1
+    histogram.observe(4.0)  # invalidates the cache
+    assert histogram.summary()["count"] == 2
+    assert histogram.summary()["p50"] == percentile([2.0, 4.0], 50.0)
+
+
+def test_histogram_merge_requires_matching_layout():
+    a = Histogram("a", lo=1.0, hi=8.0, growth=2.0)
+    b = Histogram("b", lo=1.0, hi=16.0, growth=2.0)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_histogram_merge_is_order_independent_and_render_stable():
+    """Satellite: the OpenMetrics text of a merged histogram must not
+    depend on the order cohort shards were merged in."""
+    from repro.obs import render_histogram
+
+    def shard(values):
+        histogram = Histogram("net.transfer.duration", unit="seconds",
+                              lo=1e-3, hi=10.0, growth=4.0, max_exact=8)
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    shard_values = [
+        [0.001 * (i + 1) for i in range(20)],
+        [0.5, 2.0, 8.0, 40.0],
+        [0.02, 0.03],
+    ]
+    ab = shard(shard_values[0]).merge(
+        shard(shard_values[1])).merge(shard(shard_values[2]))
+    ba = shard(shard_values[2]).merge(
+        shard(shard_values[1])).merge(shard(shard_values[0]))
+    assert not ab.exact  # the union spilled: this is the sketch path
+    assert ab.bucket_counts == ba.bucket_counts
+    assert render_histogram(ab) == render_histogram(ba)
+    for q in (50.0, 95.0, 99.0):
+        assert ab.percentile(q) == ba.percentile(q)
+
+
+def test_sketch_backed_histogram_round_trips_through_openmetrics():
+    from repro.obs import render_histogram
+
+    histogram = Histogram("net.transfer.bytes", unit="bytes",
+                          lo=1.0, hi=1e6, growth=10.0, max_exact=4)
+    for value in (0.5, 10.0, 500.0, 1e5, 5e6, 2.0):
+        histogram.observe(value)
+    assert not histogram.exact
+    families = parse_openmetrics(render_histogram(histogram))
+    family = families["net_transfer_bytes"]
+    assert family.type == "histogram"
+    assert family.value("_count") == histogram.count
+    assert family.value("_sum") == histogram.total
+    assert family.value("_bucket", le="+Inf") == histogram.count
+    # Cumulative le-buckets replay the exact bucket_counts.
+    cumulative = [
+        family.value("_bucket", le=("+Inf" if math.isinf(bound)
+                                    else repr(bound) if not float(
+                                        bound).is_integer()
+                                    else str(int(bound))))
+        for bound, _ in histogram.cumulative_buckets()
+    ]
+    assert cumulative == [c for _, c in histogram.cumulative_buckets()]
+
+
+# -- TimeSeries retention --------------------------------------------------------
+
+
+def test_timeseries_retention_decimates_deterministically():
+    bounded = TimeSeries("x", max_samples=8)
+    unbounded = TimeSeries("x")
+    for index in range(1000):
+        at = float(index)
+        value = math.sin(index / 7.0)
+        bounded.record(at, value)
+        unbounded.record(at, value)
+    assert bounded.count == unbounded.count == 1000
+    assert bounded.retained <= 8
+    assert bounded.stride > 1
+    # Survivors sit on the stride grid, starting at the first record.
+    stride = bounded.stride
+    assert [at for at, _ in bounded.samples] == [
+        float(i) for i in range(0, 1000, stride)][:bounded.retained]
+    # Digests come from the accumulators: decimation-invariant.
+    assert bounded.digest() == unbounded.digest()
+    assert bounded.last == unbounded.last
+
+
+def test_timeseries_retention_replays_identically():
+    def run():
+        series = TimeSeries("x", max_samples=16)
+        for index in range(5000):
+            series.record(float(index) * 0.5, float(index % 13))
+        return list(series.samples), series.stride
+    assert run() == run()
+
+
+def test_timeseries_rejects_bad_retention():
+    with pytest.raises(ValueError):
+        TimeSeries("x", max_samples=1)
+    with pytest.raises(ValueError):
+        TimeSeries("x", max_samples=7)  # odd strides break the grid
+
+
+def test_registry_accounts_its_own_cost():
+    bus = EventBus()
+    registry = MetricsRegistry(bus, series_retention=64)
+    publish_synthetic_stream(bus)
+    assert registry.events_observed == 7
+    first = registry.telemetry_bytes()
+    assert first > 0
+    assert registry.peak_telemetry_bytes >= first
+    series = registry.timeseries("x")
+    assert series.max_samples == 64
+    series.record(0.0, 1.0)
+    assert registry.telemetry_bytes() > first
+    peak = registry.peak_telemetry_bytes
+    registry.close()
+    assert registry.peak_telemetry_bytes >= peak
+    # Unwatched events after close are not folded.
+    publish_synthetic_stream(bus)
+    assert registry.events_observed == 7
+
+
+# -- the unobserved path allocates no telemetry (satellite regression) -----------
+
+
+def test_unobserved_cohort_run_allocates_no_telemetry_state(monkeypatch):
+    """A fully-unobserved 10^4-population run must never construct a
+    histogram, time series or sketch: the zero-subscriber contract
+    extends to allocation, not just dispatch."""
+    import repro.obs.metrics as metrics_module
+    import repro.obs.sketch as sketch_module
+    from repro.analysis.scale import ScaleScenario, run_scale_point
+
+    def explode(self, *args, **kwargs):
+        raise AssertionError(
+            f"{type(self).__name__} allocated during an unobserved run")
+
+    monkeypatch.setattr(metrics_module.Histogram, "__init__", explode)
+    monkeypatch.setattr(metrics_module.TimeSeries, "__init__", explode)
+    monkeypatch.setattr(sketch_module.QuantileSketch, "__init__", explode)
+    point = run_scale_point(10_000, ScaleScenario())
+    assert point.cohorts_completed > 0
+    assert point.telemetry_peak_bytes == 0
+    assert point.events_observed == 0
