@@ -7,8 +7,17 @@
 - :func:`format_table` / :func:`series_shape` — benchmark output helpers.
 - :func:`run_scale_sweep` / :func:`scale_manifest` — the population
   scaling trajectory and its CI regression gate (docs/SCALING.md).
+- :class:`BenchRecord` / :class:`BenchTrajectory` — the host-cost bench
+  trajectory recorded by ``python -m repro.cli profile`` and gated
+  against ``benchmarks/BENCH_profile.json``.
 """
 
+from .bench import (
+    BENCH_VERSION,
+    BenchRecord,
+    BenchTrajectory,
+    DEFAULT_BENCH_THRESHOLD,
+)
 from .delays import (
     aggregator_download_bytes,
     naive_aggregation_time,
@@ -34,6 +43,10 @@ from .stats import Summary, bootstrap_ci, percentile, summarize
 from .sweeps import Sweep, SweepResults, grid
 
 __all__ = [
+    "BENCH_VERSION",
+    "BenchRecord",
+    "BenchTrajectory",
+    "DEFAULT_BENCH_THRESHOLD",
     "DEFAULT_POPULATIONS",
     "ScalePoint",
     "ScaleScenario",

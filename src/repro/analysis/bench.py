@@ -1,0 +1,219 @@
+"""Host-cost bench trajectory: how hot-path cost evolves PR over PR.
+
+``benchmarks/BENCH_scale.json`` pins one *snapshot* of scaling cost;
+this module records a *trajectory*.  Each ``python -m repro.cli
+profile --scenario NAME --record benchmarks/BENCH_profile.json`` run
+appends a :class:`BenchRecord` — wall-clock per iteration, the
+sim-seconds-per-wall-second throughput gauge, and the profiler's
+per-subsystem hotspot shares — under its scenario, so speedups and
+regressions in the scale-and-speed arc stay visible across commits.
+
+The compare gate reuses the PR-3 :func:`~repro.obs.manifest.compare_manifests`
+threshold machinery: a record flattens to a
+:class:`~repro.obs.manifest.RunManifest` whose counters are all
+higher-is-worse (``bench.wall_per_iteration``, ``bench.wall_per_sim``
+— the *inverse* of the throughput gauge, so a slowdown is a positive
+relative change — and ``bench.share.<subsystem>``), fingerprinted by
+the scenario name so only like scenarios ever diff.  Hotspot shares
+are noisy fractions, so they get a looser dedicated threshold and
+sub-1% subsystems are dropped from the gate (they remain in the
+record itself).
+
+``python -m repro.cli profile --baseline benchmarks/BENCH_profile.json``
+diffs the current run against the scenario's latest committed record
+(warn-only in CI: wall time on shared runners drifts; the trajectory
+artifact is the signal).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "BENCH_VERSION",
+    "BenchRecord",
+    "BenchTrajectory",
+    "DEFAULT_BENCH_THRESHOLD",
+    "SHARE_THRESHOLD",
+    "MIN_GATED_SHARE",
+]
+
+BENCH_VERSION = 1
+
+#: Default relative tolerance for the wall-clock metrics.
+DEFAULT_BENCH_THRESHOLD = 0.25
+
+#: Hotspot shares drift with machine noise; only a large relative
+#: shift (a subsystem's share of attributed time growing by half) is
+#: worth flagging.
+SHARE_THRESHOLD = 0.50
+
+#: Subsystems below this share of attributed time are excluded from
+#: the gate manifest (relative changes on tiny fractions flap).
+MIN_GATED_SHARE = 0.01
+
+
+@dataclass(frozen=True)
+class BenchRecord:
+    """One scenario measurement appended to the trajectory."""
+
+    scenario: str
+    #: Wall seconds per simulated iteration (higher is worse).
+    wall_per_iteration: float
+    #: Inverse throughput — wall seconds per simulated second
+    #: (higher is worse; the gate form of ``sim_per_wall``).
+    wall_per_sim: float
+    #: The throughput gauge as humans read it.
+    sim_per_wall: float
+    #: Profiler subsystem shares of attributed time (sum ~1.0).
+    shares: Dict[str, float] = field(default_factory=dict)
+    iterations: int = 1
+    #: Free-form context (e.g. the git describe of the commit).
+    label: str = ""
+
+    @classmethod
+    def from_profile(cls, profile, scenario: str, iterations: int = 1,
+                     label: str = "") -> "BenchRecord":
+        """Distill a :class:`~repro.obs.profiling.HostProfile`."""
+        iterations = max(int(iterations), 1)
+        wall_per_sim = (profile.wall_seconds / profile.sim_seconds
+                        if profile.sim_seconds > 0 else 0.0)
+        return cls(
+            scenario=scenario,
+            wall_per_iteration=profile.wall_seconds / iterations,
+            wall_per_sim=wall_per_sim,
+            sim_per_wall=profile.sim_per_wall,
+            shares=dict(profile.shares()),
+            iterations=iterations,
+            label=label,
+        )
+
+    def to_manifest(self):
+        """Flatten to a RunManifest for the ``compare`` machinery.
+
+        All counters are higher-is-worse; the fingerprint covers only
+        the scenario name, so records of the same scenario diff
+        cleanly regardless of which commit produced them.
+        """
+        from ..obs.manifest import RunManifest, config_fingerprint
+
+        counters = {
+            "bench.wall_per_iteration": self.wall_per_iteration,
+            "bench.wall_per_sim": self.wall_per_sim,
+        }
+        for subsystem, share in sorted(self.shares.items()):
+            if share >= MIN_GATED_SHARE:
+                counters[f"bench.share.{subsystem}"] = share
+        return RunManifest(
+            fingerprint=config_fingerprint({"scenario": self.scenario}),
+            counters=counters,
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "wall_per_iteration": self.wall_per_iteration,
+            "wall_per_sim": self.wall_per_sim,
+            "sim_per_wall": self.sim_per_wall,
+            "shares": dict(sorted(self.shares.items())),
+            "iterations": self.iterations,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchRecord":
+        return cls(
+            scenario=data["scenario"],
+            wall_per_iteration=float(data["wall_per_iteration"]),
+            wall_per_sim=float(data["wall_per_sim"]),
+            sim_per_wall=float(data.get("sim_per_wall", 0.0)),
+            shares={str(key): float(value)
+                    for key, value in data.get("shares", {}).items()},
+            iterations=int(data.get("iterations", 1)),
+            label=str(data.get("label", "")),
+        )
+
+
+class BenchTrajectory:
+    """The committed per-scenario history (``benchmarks/BENCH_profile.json``)."""
+
+    def __init__(self,
+                 scenarios: Optional[Dict[str, List[BenchRecord]]] = None):
+        self.scenarios: Dict[str, List[BenchRecord]] = {
+            name: list(records)
+            for name, records in (scenarios or {}).items()
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike[str]"]) -> "BenchTrajectory":
+        """Read a trajectory file; a missing file is an empty trajectory."""
+        try:
+            with io.open(os.fspath(path), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except FileNotFoundError:
+            return cls()
+        return cls.from_dict(data)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "BenchTrajectory":
+        version = data.get("version", BENCH_VERSION)
+        if version != BENCH_VERSION:
+            raise ValueError(f"unsupported bench version {version!r}")
+        return cls(scenarios={
+            name: [BenchRecord.from_dict(record) for record in records]
+            for name, records in data.get("scenarios", {}).items()
+        })
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": BENCH_VERSION,
+            "scenarios": {
+                name: [record.to_dict() for record in records]
+                for name, records in sorted(self.scenarios.items())
+            },
+        }
+
+    def save(self, path: Union[str, "os.PathLike[str]"]) -> None:
+        with io.open(os.fspath(path), "w", encoding="utf-8") as fh:
+            json.dump(self.to_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+
+    # -- recording / gating ------------------------------------------------
+
+    def append(self, record: BenchRecord) -> None:
+        self.scenarios.setdefault(record.scenario, []).append(record)
+
+    def latest(self, scenario: str) -> Optional[BenchRecord]:
+        records = self.scenarios.get(scenario)
+        return records[-1] if records else None
+
+    def compare(self, record: BenchRecord,
+                threshold: float = DEFAULT_BENCH_THRESHOLD,
+                thresholds: Optional[Dict[str, float]] = None):
+        """Diff ``record`` against its scenario's latest entry.
+
+        Returns the :class:`~repro.obs.manifest.ManifestDiff`, or
+        ``None`` when the trajectory holds no record for the scenario
+        yet.  Share metrics default to the looser
+        :data:`SHARE_THRESHOLD` unless overridden in ``thresholds``.
+        """
+        from ..obs.manifest import compare_manifests
+
+        baseline = self.latest(record.scenario)
+        if baseline is None:
+            return None
+        base_manifest = baseline.to_manifest()
+        current_manifest = record.to_manifest()
+        merged = dict(thresholds or {})
+        for metric in (set(base_manifest.counters)
+                       | set(current_manifest.counters)):
+            if metric.startswith("bench.share."):
+                merged.setdefault(metric, max(threshold, SHARE_THRESHOLD))
+        return compare_manifests(base_manifest, current_manifest,
+                                 threshold=threshold, thresholds=merged)

@@ -39,9 +39,10 @@ move at all between runs.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
+
+from ..obs.profiling import SYSTEM_WALL_CLOCK, WallClock
 
 __all__ = [
     "DEFAULT_POPULATIONS",
@@ -167,7 +168,8 @@ def _attach_observability(session, scenario: ScaleScenario):
 def run_scale_point(population: int,
                     scenario: ScaleScenario = ScaleScenario(),
                     repeats: int = 1,
-                    progress=None) -> ScalePoint:
+                    progress=None,
+                    clock: Optional[WallClock] = None) -> ScalePoint:
     """Run one population point; wall-clock is the min over ``repeats``.
 
     The minimum is the right statistic for a regression gate: scheduler
@@ -175,10 +177,16 @@ def run_scale_point(population: int,
     estimate of the code's intrinsic cost.  ``progress`` is an optional
     callable ``(session, registry) -> resource`` attached around the
     final repeat (the one whose deterministic counters are reported);
-    its ``close()`` is called after the run.
+    its ``close()`` is called after the run.  ``clock`` is the wall
+    clock to measure with (default
+    :data:`~repro.obs.profiling.SYSTEM_WALL_CLOCK`; inject a
+    :class:`~repro.obs.profiling.FakeWallClock` to make the measured
+    wall time deterministic in tests).
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
+    if clock is None:
+        clock = SYSTEM_WALL_CLOCK
     best_wall = float("inf")
     session = registry = sampler = None
     for repeat in range(repeats):
@@ -189,10 +197,10 @@ def run_scale_point(population: int,
         reporter = None
         if progress is not None and repeat == repeats - 1:
             reporter = progress(session, registry)
-        started = time.perf_counter()
+        started = clock.seconds()
         for _ in range(scenario.iterations):
             session.run_iteration()
-        wall = (time.perf_counter() - started) / scenario.iterations
+        wall = (clock.seconds() - started) / scenario.iterations
         best_wall = min(best_wall, wall)
         if sampler is not None:
             sampler.stop()
@@ -225,7 +233,8 @@ def run_scale_sweep(populations: Sequence[int] = DEFAULT_POPULATIONS,
                     scenario: ScaleScenario = ScaleScenario(),
                     repeats: int = 1,
                     progress_jsonl=None,
-                    progress_stream=None) -> List[ScalePoint]:
+                    progress_stream=None,
+                    clock: Optional[WallClock] = None) -> List[ScalePoint]:
     """Run every population point, in order.
 
     ``progress_jsonl`` (path or writable stream) and/or
@@ -250,7 +259,7 @@ def run_scale_sweep(populations: Sequence[int] = DEFAULT_POPULATIONS,
                 )
         points.append(run_scale_point(
             population, scenario, repeats=repeats,
-            progress=point_progress))
+            progress=point_progress, clock=clock))
     return points
 
 

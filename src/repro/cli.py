@@ -42,7 +42,20 @@ Subcommands
 ``status``
     Summarize the heartbeats of a live or finished run from a
     ``--progress`` JSONL file: last iteration, sim clock, event rate
-    and telemetry peak per label.
+    and telemetry peak per label.  Exits non-zero (with a stderr
+    message) when the file is missing, unreadable or holds no
+    heartbeats yet, so scripts can poll it.
+``profile``
+    Run a session under the host-cost profiler and print where the
+    *wall* clock went: exclusive time per (subsystem, phase, actor)
+    scope, per-subsystem shares and the sim-seconds-per-wall-second
+    throughput gauge (see docs/OBSERVABILITY.md).  ``--output`` writes
+    the JSON profile artifact, ``--perfetto`` a counter/slice trace
+    for ui.perfetto.dev.  With ``--scenario``, ``--record`` appends a
+    bench record to a committed trajectory file
+    (``benchmarks/BENCH_profile.json``) and ``--baseline`` diffs
+    against the trajectory's latest record, exiting non-zero on
+    regression (``--warn-only`` in noisy CI).
 ``compare``
     Diff two run manifests with a relative-change threshold; exits
     non-zero when a metric regressed (use ``--warn-only`` in advisory
@@ -75,12 +88,14 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 import numpy as np
 
 from .analysis import (
+    BenchRecord,
+    BenchTrajectory,
+    DEFAULT_BENCH_THRESHOLD,
     DEFAULT_POPULATIONS,
     ScaleScenario,
     format_scale_table,
@@ -102,12 +117,14 @@ from .obs import (
     CountersRegistry,
     CriticalPathAnalyzer,
     FlightRecorder,
+    HostProfiler,
     InvariantMonitors,
     JsonlTraceExporter,
     MetricsRegistry,
     PerfettoExporter,
     ResourceSampler,
     RunManifest,
+    SYSTEM_WALL_CLOCK,
     SpanCollector,
     compare_manifests,
     format_heartbeat,
@@ -360,11 +377,57 @@ def build_parser() -> argparse.ArgumentParser:
     status = subparsers.add_parser(
         "status",
         help="summarize the heartbeats of a live or finished run "
-             "(reads a --progress JSONL file)",
+             "(reads a --progress JSONL file); non-zero exit when the "
+             "file is missing or holds no heartbeats yet",
     )
     status.add_argument("progress", help="progress JSONL file to read")
     status.add_argument("--tail", type=int, default=1,
                         help="heartbeats to show per label")
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="run a session under the host-cost profiler; print the "
+             "wall-clock hotspot report and optionally record/gate a "
+             "bench trajectory",
+    )
+    add_trace_session_args(profile)
+    profile.add_argument("--providers", type=int, default=0,
+                         help="providers per aggregator with "
+                              "--merge-and-download (0 = sqrt optimum)")
+    profile.add_argument("--population", type=int, default=0,
+                         help="total trainer population; > 0 attaches "
+                              "a cohort plan so the cohort-modeled "
+                              "remainder is profiled too")
+    profile.add_argument("--cohorts", type=int, default=16,
+                         help="statistical cohorts with --population")
+    profile.add_argument("--observe", action="store_true",
+                         help="attach the metrics registry so the "
+                              "per-subscriber telemetry cost shows up "
+                              "in the obs subsystem")
+    profile.add_argument("--top", type=int, default=12,
+                         help="scopes to list in the hotspot table")
+    profile.add_argument("--output", default=None,
+                         help="write the JSON profile artifact here")
+    profile.add_argument("--perfetto", default=None,
+                         help="write a Perfetto counter/slice trace "
+                              "here (open in ui.perfetto.dev)")
+    profile.add_argument("--scenario", default=None,
+                         help="bench scenario name keying --record / "
+                              "--baseline")
+    profile.add_argument("--baseline", default=None,
+                         help="bench trajectory JSON to diff against "
+                              "(e.g. benchmarks/BENCH_profile.json); "
+                              "requires --scenario")
+    profile.add_argument("--record", default=None,
+                         help="append this run's bench record to the "
+                              "trajectory JSON here; requires "
+                              "--scenario")
+    profile.add_argument("--threshold", type=float,
+                         default=DEFAULT_BENCH_THRESHOLD,
+                         help="relative regression tolerance vs the "
+                              "baseline record")
+    profile.add_argument("--warn-only", action="store_true",
+                         help="report regressions but exit 0")
 
     reproduce = subparsers.add_parser(
         "reproduce",
@@ -488,20 +551,22 @@ def _run_providers_sweep(args) -> int:
 # -- commit-cost ---------------------------------------------------------------------
 
 
-def _run_commit_cost(args) -> int:
+def _run_commit_cost(args, clock=None) -> int:
+    if clock is None:
+        clock = SYSTEM_WALL_CLOCK
     rng = np.random.default_rng(0)
     rows = []
     for size in args.sizes:
         vector = rng.normal(size=size)
-        started = time.perf_counter()
+        started = clock.seconds()
         sha256(vector.tobytes())
-        hash_seconds = time.perf_counter() - started
+        hash_seconds = clock.seconds() - started
         row = [size, hash_seconds]
         for curve in args.curves:
             committer = PartitionCommitter(partition_len=size, curve=curve)
-            started = time.perf_counter()
+            started = clock.seconds()
             committer.encode_and_commit(vector)
-            row.append(time.perf_counter() - started)
+            row.append(clock.seconds() - started)
         rows.append(row)
     print(format_table(
         ["params", "sha256 (s)"] + [f"{curve} (s)" for curve in args.curves],
@@ -515,7 +580,8 @@ def _run_commit_cost(args) -> int:
 
 
 def _build_trace_session(args, behaviors=None, model_factory=None,
-                         datasets=None, faults=None) -> FLSession:
+                         datasets=None, faults=None,
+                         cohort=None) -> FLSession:
     """The shared session the trace-family subcommands run.
 
     ``behaviors``/``model_factory``/``datasets`` let the audit-family
@@ -524,6 +590,8 @@ def _build_trace_session(args, behaviors=None, model_factory=None,
     chaos subcommand's :class:`~repro.faults.FaultPlan`; chaos also
     defines ``args.request_timeout``, which bounds directory requests
     and turns on the shared retry policy even for its control run.
+    ``cohort`` is the profile subcommand's
+    :class:`~repro.core.CohortPlan` for population-scale runs.
     """
     config = ProtocolConfig(
         num_partitions=args.partitions,
@@ -558,6 +626,7 @@ def _build_trace_session(args, behaviors=None, model_factory=None,
         network=profile,
         faults=faults,
         behaviors=behaviors,
+        cohort=cohort,
     )
 
 
@@ -890,14 +959,78 @@ def _run_scale(args) -> int:
     return 0
 
 
+def _run_profile(args) -> int:
+    from .core import CohortPlan
+
+    cohort = None
+    if args.population > 0:
+        cohort = CohortPlan(population=args.population,
+                            cohorts=args.cohorts, seed=args.seed)
+    session = _build_trace_session(args, cohort=cohort)
+    registry = MetricsRegistry(session.sim.bus) if args.observe else None
+    profiler = HostProfiler()
+    profiler.attach(session)
+    try:
+        failure = _run_rounds(session, args.rounds)
+    finally:
+        profiler.uninstall()
+        if registry is not None:
+            registry.close()
+    profile = profiler.profile(fingerprint=session.fingerprint())
+    print(profile.format(top=args.top))
+    if args.output:
+        profile.write(args.output)
+        print(f"profile -> {args.output}", file=sys.stderr)
+    if args.perfetto:
+        exporter = PerfettoExporter()
+        exporter.add_profile(profile, label=args.scenario or "profile")
+        exporter.write(args.perfetto)
+        print(f"perfetto trace -> {args.perfetto} "
+              "(open in ui.perfetto.dev)", file=sys.stderr)
+    status = _report_failure(failure)
+    if status:
+        return status
+    if (args.baseline or args.record) and not args.scenario:
+        print("--baseline/--record require --scenario", file=sys.stderr)
+        return 2
+    if args.scenario:
+        record = BenchRecord.from_profile(
+            profile, scenario=args.scenario, iterations=args.rounds,
+        )
+        if args.baseline:
+            trajectory = BenchTrajectory.load(args.baseline)
+            diff = trajectory.compare(record, threshold=args.threshold)
+            if diff is None:
+                print(f"no committed record for scenario "
+                      f"{args.scenario!r} in {args.baseline}; "
+                      "nothing to compare")
+            else:
+                print(diff.format())
+                if diff.has_regressions and not args.warn_only:
+                    return 1
+        if args.record:
+            trajectory = BenchTrajectory.load(args.record)
+            trajectory.append(record)
+            trajectory.save(args.record)
+            print(f"bench record ({args.scenario}) -> {args.record}",
+                  file=sys.stderr)
+    return 0
+
+
 def _run_status(args) -> int:
     try:
         records = read_progress(args.progress)
+    except FileNotFoundError:
+        print(f"status: progress file not found: {args.progress}",
+              file=sys.stderr)
+        return 1
     except OSError as error:
-        print(f"cannot read progress file: {error}", file=sys.stderr)
+        print(f"status: cannot read progress file: {error}",
+              file=sys.stderr)
         return 1
     if not records:
-        print(f"no heartbeats in {args.progress} (yet)")
+        print(f"status: no heartbeats in {args.progress} (yet)",
+              file=sys.stderr)
         return 1
     by_label = {}
     for record in records:
@@ -977,6 +1110,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_scale(args)
     if args.command == "status":
         return _run_status(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "compare":
         return _run_compare(args)
     if args.command == "audit":

@@ -216,18 +216,26 @@ class DirectoryService:
                                     KIND_LOOKUP_COHORT):
                     units = max(1, int(message.payload.get("count", 1)))
                 yield self.sim.timeout(self.processing_delay * units)
-            if message.kind == KIND_REGISTER:
-                self.sim.process(self._handle_register(message))
-            elif message.kind == KIND_REGISTER_BATCH:
-                self._handle_register_batch(message)
-            elif message.kind == KIND_REGISTER_COHORT:
-                self._handle_register_cohort(message)
-            elif message.kind == KIND_LOOKUP_COHORT:
-                self._handle_lookup_cohort(message)
-            elif message.kind == KIND_LOOKUP:
-                self._handle_lookup(message)
-            elif message.kind == KIND_ACCUMULATED:
-                self._handle_accumulated(message)
+            profiler = self.sim.profiler
+            frame = (profiler.begin("directory", "serve", message.kind)
+                     if profiler is not None else None)
+            try:
+                if message.kind == KIND_REGISTER:
+                    self.sim.process(self._handle_register(message),
+                                     name=f"directory:{message.kind}")
+                elif message.kind == KIND_REGISTER_BATCH:
+                    self._handle_register_batch(message)
+                elif message.kind == KIND_REGISTER_COHORT:
+                    self._handle_register_cohort(message)
+                elif message.kind == KIND_LOOKUP_COHORT:
+                    self._handle_lookup_cohort(message)
+                elif message.kind == KIND_LOOKUP:
+                    self._handle_lookup(message)
+                elif message.kind == KIND_ACCUMULATED:
+                    self._handle_accumulated(message)
+            finally:
+                if frame is not None:
+                    profiler.end(frame)
 
     def _handle_register(self, message: Message):
         payload = message.payload

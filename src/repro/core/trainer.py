@@ -16,7 +16,6 @@ the trainer aborts the iteration (Algorithm 1 line 10).
 
 from __future__ import annotations
 
-import time as wallclock
 from typing import Dict, List, Optional
 
 import numpy as np
@@ -31,6 +30,7 @@ from ..obs.events import (
     UploadCompleted,
     VerificationFailed,
 )
+from ..obs.profiling import SYSTEM_WALL_CLOCK
 from ..sim import Interrupt, Simulator
 from .addressing import Address, GRADIENT, UPDATE
 from .bootstrapper import Assignment
@@ -81,6 +81,9 @@ class Trainer:
             request_timeout=directory_request_timeout,
         )
         self.cost_model = CommitmentCostModel(config.commit_seconds_per_param)
+        #: Wall-clock source for the ``CommitmentComputed.seconds``
+        #: measurement; injectable so tests can fake wall time.
+        self.wall_clock = SYSTEM_WALL_CLOCK
         #: Per-trainer local compute time; defaults to the config value,
         #: override to model stragglers.
         self.local_train_seconds = config.local_train_seconds
@@ -119,13 +122,20 @@ class Trainer:
 
     def _compute_update_vector(self, iteration: int) -> np.ndarray:
         """The flat vector to upload, per the configured update mode."""
-        if self.config.update_mode == "params":
-            delta = local_update(
-                self.model, self.dataset, self.config.train,
-                seed=self.seed + 7919 * iteration,
-            )
-            return self.model.get_params() + delta
-        return compute_gradient(self.model, self.dataset)
+        profiler = self.sim.profiler
+        frame = (profiler.begin("ml", "train", "trainer")
+                 if profiler is not None else None)
+        try:
+            if self.config.update_mode == "params":
+                delta = local_update(
+                    self.model, self.dataset, self.config.train,
+                    seed=self.seed + 7919 * iteration,
+                )
+                return self.model.get_params() + delta
+            return compute_gradient(self.model, self.dataset)
+        finally:
+            if frame is not None:
+                profiler.end(frame)
 
     def _verify_update(self, partition_id: int, iteration: int,
                        blob: bytes):
@@ -193,13 +203,13 @@ class Trainer:
         for partition_id, values in enumerate(parts):
             committer = self.committers.get(partition_id)
             if self.config.verifiable and committer is not None:
-                wall_start = wallclock.perf_counter()
+                wall_start = self.wall_clock.seconds()
                 blob, commitment = committer.encode_and_commit(values)
                 if bus.wants(CommitmentComputed):
                     bus.publish(CommitmentComputed(
                         at=self.sim.now, iteration=schedule.iteration,
                         participant=self.name,
-                        seconds=wallclock.perf_counter() - wall_start,
+                        seconds=self.wall_clock.seconds() - wall_start,
                     ))
                 delay = self.cost_model.commit_delay(len(values) + 1)
                 if delay > 0:

@@ -438,12 +438,19 @@ class FlowScheduler:
         else:
             component = self._component_flows(seed_links)
         if component:
-            if len(component) >= self.vectorize_threshold:
-                rates = max_min_rates_vectorized(component)
-            else:
-                rates = max_min_rates(component)
-            for flow in component:
-                flow.rate = rates[flow]
+            profiler = self.sim.profiler
+            frame = (profiler.begin("net", "recompute")
+                     if profiler is not None else None)
+            try:
+                if len(component) >= self.vectorize_threshold:
+                    rates = max_min_rates_vectorized(component)
+                else:
+                    rates = max_min_rates(component)
+                for flow in component:
+                    flow.rate = rates[flow]
+            finally:
+                if frame is not None:
+                    profiler.end(frame)
             self.recomputed_flows += len(component)
         next_finish = math.inf
         for flow in self._flows:

@@ -36,7 +36,12 @@ histograms spill to a mergeable :class:`QuantileSketch`
 (:mod:`repro.obs.sketch`), series decimate deterministically, a
 :class:`SamplingPolicy` thins the firehose families at the producer,
 and a :class:`ProgressReporter` (:mod:`repro.obs.progress`) heartbeats
-liveness and telemetry cost.  See ``docs/OBSERVABILITY.md``.
+liveness and telemetry cost.  A :class:`HostProfiler`
+(:mod:`repro.obs.profiling`) attributes *wall-clock* (host) cost to
+subsystem scopes — kernel dispatch, bandwidth recompute, crypto,
+directory, ML, per-subscriber telemetry — without touching the
+simulated clock or any RNG (``python -m repro.cli profile``).  See
+``docs/OBSERVABILITY.md``.
 """
 
 from .bus import (
@@ -109,6 +114,14 @@ from .openmetrics import (
     render_openmetrics,
 )
 from .perfetto import PerfettoExporter
+from .profiling import (
+    FakeWallClock,
+    HostProfile,
+    HostProfiler,
+    SYSTEM_WALL_CLOCK,
+    ScopeStat,
+    WallClock,
+)
 from .progress import ProgressReporter, format_heartbeat, read_progress
 from .sketch import QuantileSketch
 from .spans import SPAN_EVENTS, Span, SpanCollector, SpanTree, \
@@ -133,10 +146,13 @@ __all__ = [
     "DirectoryRequest",
     "Event",
     "EventBus",
+    "FakeWallClock",
     "FaultHealed",
     "FaultInjected",
     "FlightRecorder",
     "Histogram",
+    "HostProfile",
+    "HostProfiler",
     "GradientRegistered",
     "GradientsAggregated",
     "IncidentBundle",
@@ -161,7 +177,9 @@ __all__ = [
     "RunManifest",
     "SAMPLED_EVENT_FAMILIES",
     "SPAN_EVENTS",
+    "SYSTEM_WALL_CLOCK",
     "SamplingPolicy",
+    "ScopeStat",
     "SnapshotSealed",
     "Span",
     "SpanCollector",
@@ -182,6 +200,7 @@ __all__ = [
     "UpdateVerified",
     "UploadCompleted",
     "VerificationFailed",
+    "WallClock",
     "build_span_tree",
     "compare_manifests",
     "config_fingerprint",

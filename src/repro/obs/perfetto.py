@@ -14,6 +14,14 @@ so export works on live collectors and replayed trees alike::
     collector = SpanCollector(session.sim.bus)
     session.run(rounds=3)
     PerfettoExporter(collector.trees.values()).write("timeline.json")
+
+:meth:`PerfettoExporter.add_profile` additionally renders a
+:class:`~repro.obs.profiling.HostProfile` — host (wall-clock) cost, a
+different time base than the simulated span tracks — under its own
+synthetic process (pid 2): one thread track per subsystem carrying the
+scope self-time slices laid end to end, plus counter tracks
+(``"ph": "C"``) for the sim-seconds-per-wall-second throughput gauge
+and the dispatch rate, derived from the profiler's periodic samples.
 """
 
 from __future__ import annotations
@@ -31,6 +39,12 @@ __all__ = ["PerfettoExporter"]
 _PID = 1
 _PROCESS_NAME = "repro"
 
+#: Host-cost profile tracks live under their own process: they measure
+#: wall time, not simulated time, and must not share an axis meaning
+#: with the span tracks.
+_PROFILE_PID = 2
+_PROFILE_PROCESS_NAME = "host profile"
+
 #: Simulated seconds -> trace microseconds.
 _MICROS = 1_000_000.0
 
@@ -41,6 +55,7 @@ class PerfettoExporter:
     def __init__(self, trees: Optional[Iterable[SpanTree]] = None):
         self._events: List[dict] = []
         self._tids: Dict[str, int] = {}
+        self._profile_tid = 1
         if trees is not None:
             for tree in trees:
                 self.add_tree(tree)
@@ -49,6 +64,76 @@ class PerfettoExporter:
         """Append every span of one iteration's tree to the trace."""
         for span in tree:
             self._events.append(self._slice(span))
+
+    def add_profile(self, profile, label: str = "profile") -> None:
+        """Render a :class:`~repro.obs.profiling.HostProfile` (pid 2).
+
+        Scope self-times become complete slices laid end to end on one
+        thread track per subsystem (a synthetic wall-time axis: slice
+        *widths* are real attributed seconds, positions are not a
+        timeline).  The profiler's periodic samples become ``"C"``
+        counter tracks — throughput (sim-s per wall-s) and dispatch
+        rate — on the real wall-time axis.
+        """
+        by_subsystem: Dict[str, List] = {}
+        for scope in profile.scopes:
+            by_subsystem.setdefault(scope.subsystem, []).append(scope)
+        for subsystem, scopes in sorted(by_subsystem.items()):
+            tid = self._profile_tid
+            self._profile_tid += 1
+            self._events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PROFILE_PID,
+                "tid": tid,
+                "args": {"name": f"{label}:{subsystem}"},
+            })
+            cursor = 0.0
+            for scope in sorted(scopes, key=lambda s: -s.self_seconds):
+                self._events.append({
+                    "name": scope.label,
+                    "cat": "host",
+                    "ph": "X",
+                    "pid": _PROFILE_PID,
+                    "tid": tid,
+                    "ts": cursor * _MICROS,
+                    "dur": scope.self_seconds * _MICROS,
+                    "args": {
+                        "calls": scope.calls,
+                        "self_seconds": scope.self_seconds,
+                        "total_seconds": scope.total_seconds,
+                    },
+                })
+                cursor += scope.self_seconds
+        prev = {"wall_seconds": 0.0, "sim_seconds": 0.0, "dispatches": 0}
+        for sample in profile.samples:
+            wall_delta = sample["wall_seconds"] - prev["wall_seconds"]
+            if wall_delta <= 0:
+                continue
+            sim_delta = sample["sim_seconds"] - prev["sim_seconds"]
+            dispatch_delta = sample["dispatches"] - prev["dispatches"]
+            ts = sample["wall_seconds"] * _MICROS
+            self._events.append({
+                "name": f"{label}:sim_s_per_wall_s",
+                "ph": "C",
+                "pid": _PROFILE_PID,
+                "ts": ts,
+                "args": {"value": sim_delta / wall_delta},
+            })
+            self._events.append({
+                "name": f"{label}:dispatches_per_s",
+                "ph": "C",
+                "pid": _PROFILE_PID,
+                "ts": ts,
+                "args": {"value": dispatch_delta / wall_delta},
+            })
+            prev = sample
+        self._events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PROFILE_PID,
+            "args": {"name": _PROFILE_PROCESS_NAME},
+        })
 
     def to_dict(self) -> dict:
         """The complete trace as a JSON-object-format dict."""

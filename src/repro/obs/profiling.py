@@ -1,0 +1,569 @@
+"""Host-cost profiler: where does the *wall* clock go?
+
+Every other layer of :mod:`repro.obs` measures the simulated clock;
+this module measures the host.  A :class:`HostProfiler` hooks the two
+places all host work funnels through — the :class:`~repro.sim.Simulator`
+dispatch loop and the :class:`~repro.obs.bus.EventBus` subscriber
+dispatch — and attributes ``perf_counter_ns`` deltas to a hierarchy of
+``(subsystem, phase, actor)`` scopes:
+
+=============  ==============================  =======================
+subsystem      phase                           actor
+=============  ==============================  =======================
+``kernel``     ``dispatch``                    process role (``trainer``,
+                                               ``aggregator``,
+                                               ``directory``, ``cohort``,
+                                               ``msg``, ``xfer``, ...)
+``net``        ``recompute``                   --
+``crypto``     ``commit``/``verify``/          the role whose dispatch
+               ``multiexp``                    frame is active
+``ml``         ``train``                       ``trainer``
+``directory``  ``serve``                       the request kind
+``obs``        ``subscriber``                  the handler owner class
+=============  ==============================  =======================
+
+Scope accounting is *exclusive*: a frame's children are subtracted
+from its self time, so the self times of all scopes partition the
+attributed wall time and subsystem shares sum to ~100%.
+
+Contracts (pinned by ``tests/test_obs_profiling.py``):
+
+- **Zero cost when disabled.**  No hooks exist by default:
+  ``sim.profiler``/``bus.profiler`` are ``None`` and the hot paths pay
+  one attribute load and one ``is None`` branch — exactly the
+  :meth:`EventBus.wants` deal.
+- **Never observable by the run.**  The profiler reads the sim clock
+  and touches no RNG; fingerprints and seeded replays are
+  byte-identical with profiling on or off.
+- **Throughput gauge.**  The profiler tracks simulated seconds per
+  wall second over the installed window (and samples it over time for
+  the Perfetto counter track).
+
+The wall clock itself is an injectable :class:`WallClock`
+(:data:`SYSTEM_WALL_CLOCK` by default, :class:`FakeWallClock` in
+tests); every ad-hoc ``time.perf_counter`` call site in the repo
+(``cli commit-cost``, :func:`repro.analysis.scale.run_scale_point`,
+trainer commitment timing) routes through it.
+
+See the "Profiling" section of ``docs/OBSERVABILITY.md`` for the
+artifact schema and ``python -m repro.cli profile`` for the end-to-end
+command.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
+
+__all__ = [
+    "FakeWallClock",
+    "HostProfile",
+    "HostProfiler",
+    "PROFILE_VERSION",
+    "SYSTEM_WALL_CLOCK",
+    "ScopeStat",
+    "WallClock",
+]
+
+PROFILE_VERSION = 1
+
+_NS = 1_000_000_000
+
+
+class WallClock:
+    """Injectable host wall-clock (monotonic, sub-microsecond).
+
+    The single abstraction every wall-time measurement in the repo
+    goes through, so tests can substitute :class:`FakeWallClock` and
+    assert on deterministic durations.
+    """
+
+    __slots__ = ()
+
+    def seconds(self) -> float:
+        """Monotonic seconds (``time.perf_counter``)."""
+        return time.perf_counter()
+
+    def nanoseconds(self) -> int:
+        """Monotonic integer nanoseconds (``time.perf_counter_ns``)."""
+        return time.perf_counter_ns()
+
+
+#: The process-wide default clock.  Components take a ``clock``
+#: parameter defaulting to this singleton.
+SYSTEM_WALL_CLOCK = WallClock()
+
+
+class FakeWallClock(WallClock):
+    """Deterministic wall clock for tests.
+
+    Every read returns the current value and then advances it by
+    ``tick`` seconds, so a sequence of reads yields an arithmetic
+    progression; :meth:`advance` injects extra elapsed time.
+    """
+
+    __slots__ = ("_now_ns", "tick_ns", "reads")
+
+    def __init__(self, start: float = 0.0, tick: float = 0.0):
+        self._now_ns = int(round(start * _NS))
+        self.tick_ns = int(round(tick * _NS))
+        self.reads = 0
+
+    def nanoseconds(self) -> int:
+        value = self._now_ns
+        self._now_ns += self.tick_ns
+        self.reads += 1
+        return value
+
+    def seconds(self) -> float:
+        return self.nanoseconds() / _NS
+
+    def advance(self, seconds: float) -> None:
+        """Inject ``seconds`` of elapsed wall time."""
+        if seconds < 0:
+            raise ValueError("cannot advance a monotonic clock backwards")
+        self._now_ns += int(round(seconds * _NS))
+
+
+def _role_from_name(name: str) -> str:
+    """Actor role of a kernel process name.
+
+    ``"trainer-3:up:p1" -> "trainer"``, ``"directory:dir.lookup" ->
+    "directory"``, ``"cohort-12:i0" -> "cohort"``, ``"round:2" ->
+    "round"``.  The head segment with its trailing instance number
+    stripped — purely lexical, so the kernel needs no registry of
+    roles.
+    """
+    head = name.split(":", 1)[0]
+    stripped = head.rstrip("0123456789").rstrip("-")
+    return stripped or head
+
+
+@dataclass(frozen=True)
+class ScopeStat:
+    """Aggregated cost of one ``(subsystem, phase, actor)`` scope."""
+
+    subsystem: str
+    phase: str
+    actor: str
+    calls: int
+    #: Exclusive wall seconds (children subtracted).
+    self_seconds: float
+    #: Inclusive wall seconds.
+    total_seconds: float
+
+    @property
+    def label(self) -> str:
+        base = f"{self.subsystem}.{self.phase}"
+        return f"{base}.{self.actor}" if self.actor else base
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "subsystem": self.subsystem,
+            "phase": self.phase,
+            "actor": self.actor,
+            "calls": self.calls,
+            "self_seconds": self.self_seconds,
+            "total_seconds": self.total_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ScopeStat":
+        return cls(
+            subsystem=data["subsystem"],
+            phase=data["phase"],
+            actor=data.get("actor", ""),
+            calls=int(data["calls"]),
+            self_seconds=float(data["self_seconds"]),
+            total_seconds=float(data["total_seconds"]),
+        )
+
+
+@dataclass(frozen=True)
+class HostProfile:
+    """An immutable profiler snapshot: the JSON/report artifact."""
+
+    #: The run's manifest fingerprint (``FLSession.fingerprint()``),
+    #: so a profile is keyed to the exact scenario that produced it.
+    fingerprint: Dict[str, Any] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    dispatches: int = 0
+    #: Sorted by descending self time.
+    scopes: Tuple[ScopeStat, ...] = ()
+    #: Periodic ``{"wall_seconds", "sim_seconds", "dispatches"}``
+    #: samples over the profiled window (throughput over time).
+    samples: Tuple[Dict[str, float], ...] = ()
+
+    # -- derived ----------------------------------------------------------
+
+    @property
+    def attributed_seconds(self) -> float:
+        """Wall seconds inside any scope (self times partition this)."""
+        return sum(scope.self_seconds for scope in self.scopes)
+
+    @property
+    def sim_per_wall(self) -> float:
+        """The throughput gauge: simulated seconds per wall second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.sim_seconds / self.wall_seconds
+
+    def shares(self) -> Dict[str, float]:
+        """Fraction of attributed time per subsystem; sums to ~1.0."""
+        attributed = self.attributed_seconds
+        if attributed <= 0:
+            return {}
+        by_subsystem: Dict[str, float] = {}
+        for scope in self.scopes:
+            by_subsystem[scope.subsystem] = (
+                by_subsystem.get(scope.subsystem, 0.0) + scope.self_seconds
+            )
+        return {
+            subsystem: total / attributed
+            for subsystem, total in sorted(
+                by_subsystem.items(), key=lambda kv: -kv[1])
+        }
+
+    def hotspots(self, n: int = 10) -> List[ScopeStat]:
+        """The ``n`` most expensive scopes by exclusive time."""
+        return list(self.scopes[:max(n, 0)])
+
+    # -- reporting --------------------------------------------------------
+
+    def format(self, top: int = 12) -> str:
+        """Human-readable hotspot report."""
+        from ..analysis.results import format_table
+
+        lines = [
+            f"host-cost profile: {self.sim_seconds:.1f} sim-s in "
+            f"{self.wall_seconds:.3f} wall-s "
+            f"({self.sim_per_wall:.1f} sim-s/wall-s), "
+            f"{self.dispatches} dispatches",
+        ]
+        coverage = (self.attributed_seconds / self.wall_seconds * 100.0
+                    if self.wall_seconds > 0 else 0.0)
+        lines.append(
+            f"attributed {self.attributed_seconds:.3f} wall-s "
+            f"({coverage:.1f}% of window) across {len(self.scopes)} "
+            "scope(s)")
+        shares = self.shares()
+        if shares:
+            lines.append("shares: " + " | ".join(
+                f"{subsystem} {share * 100.0:.1f}%"
+                for subsystem, share in shares.items()))
+        attributed = self.attributed_seconds
+        rows = []
+        for scope in self.hotspots(top):
+            share = (scope.self_seconds / attributed * 100.0
+                     if attributed > 0 else 0.0)
+            rows.append([
+                scope.label, scope.calls,
+                round(scope.self_seconds, 4),
+                round(scope.total_seconds, 4),
+                f"{share:.1f}%",
+            ])
+        if rows:
+            lines.append(format_table(
+                ["scope", "calls", "self (s)", "total (s)", "share"],
+                rows,
+            ))
+        return "\n".join(lines)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": PROFILE_VERSION,
+            "fingerprint": dict(self.fingerprint),
+            "wall_seconds": self.wall_seconds,
+            "sim_seconds": self.sim_seconds,
+            "sim_per_wall": self.sim_per_wall,
+            "dispatches": self.dispatches,
+            "attributed_seconds": self.attributed_seconds,
+            "shares": self.shares(),
+            "scopes": [scope.to_dict() for scope in self.scopes],
+            "samples": [dict(sample) for sample in self.samples],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "HostProfile":
+        version = data.get("version", PROFILE_VERSION)
+        if version != PROFILE_VERSION:
+            raise ValueError(f"unsupported profile version {version!r}")
+        return cls(
+            fingerprint=dict(data.get("fingerprint", {})),
+            wall_seconds=float(data.get("wall_seconds", 0.0)),
+            sim_seconds=float(data.get("sim_seconds", 0.0)),
+            dispatches=int(data.get("dispatches", 0)),
+            scopes=tuple(ScopeStat.from_dict(scope)
+                         for scope in data.get("scopes", [])),
+            samples=tuple(dict(sample)
+                          for sample in data.get("samples", [])),
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def write(self, destination: Union[str, "os.PathLike[str]",
+                                       IO[str]]) -> None:
+        if hasattr(destination, "write"):
+            destination.write(self.to_json())
+            return
+        with io.open(os.fspath(destination), "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: Union[str, "os.PathLike[str]"]) -> "HostProfile":
+        with io.open(os.fspath(path), "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+class HostProfiler:
+    """Attributes host wall time to ``(subsystem, phase, actor)`` scopes.
+
+    Install on a simulator (:meth:`install`) or a whole session
+    (:meth:`attach`, which also wires the crypto scopes on the
+    session's :class:`~repro.core.verification.PartitionCommitter`
+    instances); :meth:`uninstall` removes every hook and finalizes the
+    window.  :meth:`profile` snapshots an immutable
+    :class:`HostProfile` at any point.
+
+    The hot API is :meth:`begin`/:meth:`end` (a mutable frame, no
+    context-manager overhead); :meth:`scope` wraps them for coarse
+    call sites.  Frames nest: on :meth:`end`, a frame's elapsed time
+    is charged to its own inclusive total, its *exclusive* total
+    (elapsed minus children) and its parent's child accumulator — so
+    exclusive times always partition the attributed wall time.
+    """
+
+    def __init__(self, clock: WallClock = SYSTEM_WALL_CLOCK,
+                 sample_interval: float = 0.25):
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        self.clock = clock
+        #: (subsystem, phase, actor) -> [calls, self_ns, total_ns]
+        self._stats: Dict[Tuple[str, str, str], List[int]] = {}
+        #: Open frames: [key, start_ns, child_ns].
+        self._stack: List[list] = []
+        #: Actor roles of the open kernel dispatch frames.
+        self._roles: List[str] = []
+        self._role_cache: Dict[str, str] = {}
+        self._subscriber_names: Dict[Any, str] = {}
+        self.dispatches = 0
+        self.samples: List[Dict[str, float]] = []
+        self._sample_interval_ns = int(round(sample_interval * _NS))
+        self._sim = None
+        self._committers: List[Any] = []
+        self._wall_start_ns: Optional[int] = None
+        self._sim_start = 0.0
+        self._next_sample_ns = 0
+        #: Finalized (uninstalled) window totals.
+        self.wall_seconds = 0.0
+        self.sim_seconds = 0.0
+
+    # -- install / uninstall ----------------------------------------------
+
+    @property
+    def installed(self) -> bool:
+        return self._sim is not None
+
+    def install(self, sim) -> "HostProfiler":
+        """Hook the kernel dispatch loop and the bus subscriber dispatch."""
+        if self._sim is not None:
+            raise RuntimeError("profiler is already installed")
+        if sim.profiler is not None:
+            raise RuntimeError(
+                "another profiler is already installed on this simulator")
+        self._sim = sim
+        sim.profiler = self
+        sim.bus.profiler = self
+        now = self.clock.nanoseconds()
+        self._wall_start_ns = now
+        self._sim_start = sim.now
+        self._next_sample_ns = now + self._sample_interval_ns
+        return self
+
+    def attach(self, session) -> "HostProfiler":
+        """Install on a session and wire its crypto commit/verify scopes."""
+        self.install(session.sim)
+        seen = set()
+        for committer in session.committers.values():
+            if id(committer) in seen:
+                continue
+            seen.add(id(committer))
+            committer.profiler = self
+            self._committers.append(committer)
+        return self
+
+    def uninstall(self) -> None:
+        """Remove every hook and fold the window into the totals."""
+        sim = self._sim
+        if sim is None:
+            return
+        now = self.clock.nanoseconds()
+        self._take_sample(now)
+        self.wall_seconds += (now - self._wall_start_ns) / _NS
+        self.sim_seconds += sim.now - self._sim_start
+        sim.profiler = None
+        sim.bus.profiler = None
+        for committer in self._committers:
+            committer.profiler = None
+        self._committers = []
+        self._sim = None
+        self._wall_start_ns = None
+
+    # -- scope accounting (hot path) --------------------------------------
+
+    def begin(self, subsystem: str, phase: str, actor: str = "") -> list:
+        """Open a frame; pass the returned token to :meth:`end`."""
+        frame = [(subsystem, phase, actor), self.clock.nanoseconds(), 0]
+        self._stack.append(frame)
+        return frame
+
+    def end(self, frame: list) -> int:
+        """Close ``frame``; returns the clock reading (nanoseconds)."""
+        now = self.clock.nanoseconds()
+        stack = self._stack
+        if stack and stack[-1] is frame:
+            stack.pop()
+        else:  # pragma: no cover - only on mispaired begin/end
+            try:
+                stack.remove(frame)
+            except ValueError:
+                return now
+        key, start_ns, child_ns = frame
+        elapsed = now - start_ns
+        stat = self._stats.get(key)
+        if stat is None:
+            self._stats[key] = stat = [0, 0, 0]
+        stat[0] += 1
+        stat[1] += elapsed - child_ns
+        stat[2] += elapsed
+        if stack:
+            stack[-1][2] += elapsed
+        return now
+
+    def scope(self, subsystem: str, phase: str, actor: str = ""):
+        """Context-manager form of :meth:`begin`/:meth:`end`."""
+        return _Scope(self, subsystem, phase, actor)
+
+    def current_role(self) -> str:
+        """Actor role of the innermost kernel dispatch frame."""
+        roles = self._roles
+        return roles[-1] if roles else ""
+
+    # -- kernel hook -------------------------------------------------------
+
+    def dispatch_begin(self, event) -> list:
+        """Called by ``Simulator.step`` before running callbacks."""
+        self.dispatches += 1
+        role = self._role_of(event)
+        self._roles.append(role)
+        return self.begin("kernel", "dispatch", role)
+
+    def dispatch_end(self, frame: list) -> None:
+        """Called by ``Simulator.step`` after the callbacks ran."""
+        now = self.end(frame)
+        self._roles.pop()
+        if now >= self._next_sample_ns:
+            self._take_sample(now)
+
+    def _role_of(self, event) -> str:
+        """Classify a dispatched event by the process it resumes/ends."""
+        callbacks = event.callbacks
+        owner = None
+        if callbacks:
+            owner = getattr(callbacks[0], "__self__", None)
+        name = getattr(owner, "name", None) if owner is not None else None
+        if name is None and hasattr(event, "_generator"):
+            name = event.name  # a process ending with no waiters
+        if not name or not isinstance(name, str):
+            return ""
+        role = self._role_cache.get(name)
+        if role is None:
+            role = _role_from_name(name)
+            self._role_cache[name] = role
+        return role
+
+    # -- bus hook ----------------------------------------------------------
+
+    def subscriber_name(self, handler) -> str:
+        """Attribution label for one bus handler (its owner's class)."""
+        name = self._subscriber_names.get(handler)
+        if name is None:
+            owner = getattr(handler, "__self__", None)
+            if owner is not None:
+                name = type(owner).__name__
+            else:
+                name = (getattr(handler, "__qualname__", None)
+                        or getattr(handler, "__name__", None)
+                        or type(handler).__name__)
+            self._subscriber_names[handler] = name
+        return name
+
+    # -- throughput sampling ----------------------------------------------
+
+    def _take_sample(self, now_ns: int) -> None:
+        if self._wall_start_ns is None or self._sim is None:
+            return
+        self.samples.append({
+            "wall_seconds": (now_ns - self._wall_start_ns) / _NS
+                            + self.wall_seconds,
+            "sim_seconds": (self._sim.now - self._sim_start)
+                           + self.sim_seconds,
+            "dispatches": float(self.dispatches),
+        })
+        self._next_sample_ns = now_ns + self._sample_interval_ns
+
+    # -- snapshot ----------------------------------------------------------
+
+    def profile(self,
+                fingerprint: Optional[Dict[str, Any]] = None
+                ) -> HostProfile:
+        """Snapshot the current attribution as a :class:`HostProfile`."""
+        wall = self.wall_seconds
+        sim_seconds = self.sim_seconds
+        if self._sim is not None:
+            now = self.clock.nanoseconds()
+            wall += (now - self._wall_start_ns) / _NS
+            sim_seconds += self._sim.now - self._sim_start
+        scopes = sorted(
+            (ScopeStat(subsystem=key[0], phase=key[1], actor=key[2],
+                       calls=stat[0], self_seconds=stat[1] / _NS,
+                       total_seconds=stat[2] / _NS)
+             for key, stat in self._stats.items()),
+            key=lambda scope: -scope.self_seconds,
+        )
+        return HostProfile(
+            fingerprint=dict(fingerprint or {}),
+            wall_seconds=wall,
+            sim_seconds=sim_seconds,
+            dispatches=self.dispatches,
+            scopes=tuple(scopes),
+            samples=tuple(dict(sample) for sample in self.samples),
+        )
+
+
+class _Scope:
+    """Reusable-per-call context manager over begin/end."""
+
+    __slots__ = ("_profiler", "_key", "_frame")
+
+    def __init__(self, profiler: HostProfiler, subsystem: str, phase: str,
+                 actor: str):
+        self._profiler = profiler
+        self._key = (subsystem, phase, actor)
+        self._frame = None
+
+    def __enter__(self) -> "_Scope":
+        self._frame = self._profiler.begin(*self._key)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._profiler.end(self._frame)
+        self._frame = None

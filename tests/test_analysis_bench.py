@@ -1,0 +1,122 @@
+"""Tests for the host-cost bench trajectory (repro.analysis.bench)."""
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    BENCH_VERSION,
+    BenchRecord,
+    BenchTrajectory,
+    MIN_GATED_SHARE,
+    SHARE_THRESHOLD,
+)
+from repro.obs.profiling import HostProfile, ScopeStat
+
+
+def _profile(wall=2.0, sim=100.0):
+    return HostProfile(
+        wall_seconds=wall, sim_seconds=sim, dispatches=10,
+        scopes=(
+            ScopeStat("kernel", "dispatch", "trainer", 5, 0.6, 0.6),
+            ScopeStat("crypto", "commit", "trainer", 2, 0.3, 0.3),
+            ScopeStat("obs", "subscriber", "TelemetryCollector", 1,
+                      0.001, 0.001),
+        ),
+    )
+
+
+def _record(wall=2.0, sim=100.0, scenario="fig1"):
+    return BenchRecord.from_profile(_profile(wall, sim), scenario,
+                                    iterations=2)
+
+
+def test_from_profile_distills_the_gauge_and_shares():
+    record = _record()
+    assert record.scenario == "fig1"
+    assert record.iterations == 2
+    assert record.wall_per_iteration == pytest.approx(1.0)
+    assert record.wall_per_sim == pytest.approx(0.02)
+    assert record.sim_per_wall == pytest.approx(50.0)
+    assert record.shares["kernel"] == pytest.approx(0.6 / 0.901)
+    assert sum(record.shares.values()) == pytest.approx(1.0)
+
+
+def test_manifest_gates_higher_is_worse_and_drops_tiny_shares():
+    manifest = _record().to_manifest()
+    assert "bench.wall_per_iteration" in manifest.counters
+    assert "bench.wall_per_sim" in manifest.counters
+    assert "bench.share.kernel" in manifest.counters
+    # obs share ~0.1% < MIN_GATED_SHARE: in the record, not the gate.
+    assert _record().shares["obs"] < MIN_GATED_SHARE
+    assert "bench.share.obs" not in manifest.counters
+    # Same scenario -> same fingerprint digest, any wall numbers.
+    other = _record(wall=9.0, sim=1.0).to_manifest()
+    assert manifest.fingerprint["digest"] == other.fingerprint["digest"]
+    assert _record(scenario="p1000").to_manifest().fingerprint["digest"] \
+        != manifest.fingerprint["digest"]
+
+
+def test_trajectory_round_trips_and_missing_file_is_empty(tmp_path):
+    path = tmp_path / "BENCH_profile.json"
+    assert BenchTrajectory.load(path).scenarios == {}
+    trajectory = BenchTrajectory()
+    trajectory.append(_record())
+    trajectory.append(_record(wall=1.8))
+    trajectory.append(_record(scenario="p1000"))
+    trajectory.save(path)
+    loaded = BenchTrajectory.load(path)
+    assert sorted(loaded.scenarios) == ["fig1", "p1000"]
+    assert len(loaded.scenarios["fig1"]) == 2
+    assert loaded.latest("fig1") == _record(wall=1.8)
+    assert loaded.latest("absent") is None
+    data = json.loads(path.read_text())
+    assert data["version"] == BENCH_VERSION
+    with pytest.raises(ValueError):
+        BenchTrajectory.from_dict({"version": 99})
+
+
+def test_compare_returns_none_without_a_baseline_record():
+    trajectory = BenchTrajectory()
+    assert trajectory.compare(_record()) is None
+    trajectory.append(_record(scenario="p1000"))
+    assert trajectory.compare(_record(scenario="fig1")) is None
+
+
+def test_compare_flags_a_wall_clock_regression():
+    trajectory = BenchTrajectory()
+    trajectory.append(_record(wall=1.0))
+    clean = trajectory.compare(_record(wall=1.1), threshold=0.25)
+    assert clean is not None and not clean.has_regressions
+    slow = trajectory.compare(_record(wall=2.0), threshold=0.25)
+    assert slow.has_regressions
+    regressed = {entry.metric for entry in slow.regressions}
+    assert "bench.wall_per_iteration" in regressed
+    assert "bench.wall_per_sim" in regressed
+    # Shares are unchanged (same profile shape): never flagged.
+    assert not any(metric.startswith("bench.share.")
+                   for metric in regressed)
+
+
+def test_share_metrics_use_the_looser_threshold():
+    baseline = _profile()
+    current = HostProfile(
+        wall_seconds=2.0, sim_seconds=100.0, dispatches=10,
+        scopes=(
+            # kernel share drifts 0.666 -> 0.555 (~17% relative): noise.
+            ScopeStat("kernel", "dispatch", "trainer", 5, 0.5, 0.5),
+            ScopeStat("crypto", "commit", "trainer", 2, 0.4, 0.4),
+        ),
+    )
+    trajectory = BenchTrajectory()
+    trajectory.append(BenchRecord.from_profile(baseline, "fig1"))
+    diff = trajectory.compare(
+        BenchRecord.from_profile(current, "fig1"), threshold=0.10)
+    share_regressions = {
+        entry.metric for entry in diff.regressions
+        if entry.metric.startswith("bench.share.")
+    }
+    # crypto grew 0.333 -> 0.444 (~33% relative) — above the 10%
+    # wall threshold but under SHARE_THRESHOLD, so not flagged.
+    assert 0.33 < SHARE_THRESHOLD
+    assert not share_regressions

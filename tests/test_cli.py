@@ -281,3 +281,141 @@ def test_status_tail_limits_records(tmp_path, capsys):
     assert main(["status", str(path), "--tail", "2"]) == 0
     out = capsys.readouterr().out
     assert out.count("[p40]") == 2
+
+
+# -- profile -----------------------------------------------------------------
+
+
+def _profile_args(extra=()):
+    return [
+        "profile", "--trainers", "4", "--rounds", "1",
+        "--partitions", "2", "--ipfs-nodes", "4",
+        "--params", "2000", "--verifiable",
+    ] + list(extra)
+
+
+def test_profile_prints_the_hotspot_report(capsys):
+    assert main(_profile_args()) == 0
+    out = capsys.readouterr().out
+    assert "host-cost profile:" in out
+    assert "sim-s/wall-s" in out
+    assert "shares:" in out
+    assert "crypto" in out
+
+
+def test_profile_writes_artifacts_and_shares_sum_to_one(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "profile.json"
+    trace_path = tmp_path / "profile.perfetto.json"
+    code = main(_profile_args([
+        "--observe", "--output", str(out_path),
+        "--perfetto", str(trace_path),
+    ]))
+    capsys.readouterr()
+    assert code == 0
+    data = json.loads(out_path.read_text())
+    assert data["version"] == 1
+    assert sum(data["shares"].values()) == pytest.approx(1.0)
+    assert "obs" in data["shares"]  # --observe priced the registry
+    assert data["dispatches"] > 0
+    assert data["fingerprint"]["digest"]
+    trace = json.loads(trace_path.read_text())
+    assert any(event.get("ph") == "X" and event.get("pid") == 2
+               for event in trace["traceEvents"])
+
+
+def test_profile_records_then_gates_a_doctored_regression(tmp_path, capsys):
+    import json
+
+    trajectory_path = tmp_path / "BENCH_profile.json"
+    assert main(_profile_args([
+        "--scenario", "smoke", "--record", str(trajectory_path),
+    ])) == 0
+    capsys.readouterr()
+
+    # Doctor the committed record to claim the run used to be 100x
+    # faster: the next gated run must regress.
+    data = json.loads(trajectory_path.read_text())
+    (record,) = data["scenarios"]["smoke"]
+    record["wall_per_iteration"] /= 100.0
+    record["wall_per_sim"] /= 100.0
+    trajectory_path.write_text(json.dumps(data))
+
+    assert main(_profile_args([
+        "--scenario", "smoke", "--baseline", str(trajectory_path),
+    ])) == 1
+    out = capsys.readouterr().out
+    assert "regression" in out
+    assert main(_profile_args([
+        "--scenario", "smoke", "--baseline", str(trajectory_path),
+        "--warn-only",
+    ])) == 0
+    capsys.readouterr()
+
+
+def test_profile_baseline_without_scenario_is_a_usage_error(
+        tmp_path, capsys):
+    assert main(_profile_args(
+        ["--baseline", str(tmp_path / "t.json")])) == 2
+    assert "--scenario" in capsys.readouterr().err
+
+
+def test_profile_baseline_without_a_record_reports_and_passes(
+        tmp_path, capsys):
+    path = tmp_path / "empty.json"
+    assert main(_profile_args(
+        ["--scenario", "fresh", "--baseline", str(path)])) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_profile_with_a_population_covers_the_cohort_role(
+        tmp_path, capsys):
+    out_path = tmp_path / "profile.json"
+    code = main([
+        "profile", "--trainers", "4", "--rounds", "1",
+        "--partitions", "2", "--ipfs-nodes", "4", "--params", "2000",
+        "--population", "200", "--cohorts", "8", "--seed", "7",
+        "--output", str(out_path),
+    ])
+    capsys.readouterr()
+    assert code == 0
+    import json
+    data = json.loads(out_path.read_text())
+    actors = {scope["actor"] for scope in data["scopes"]
+              if scope["subsystem"] == "kernel"}
+    assert "cohort" in actors
+
+
+# -- status exit-code contract / clock injection ------------------------------
+
+
+def test_status_missing_file_names_the_path_on_stderr(tmp_path, capsys):
+    missing = tmp_path / "absent.jsonl"
+    assert main(["status", str(missing)]) == 1
+    err = capsys.readouterr().err
+    assert "not found" in err
+    assert str(missing) in err
+
+
+def test_status_empty_file_fails_with_a_message(tmp_path, capsys):
+    path = tmp_path / "progress.jsonl"
+    path.write_text("")
+    assert main(["status", str(path)]) == 1
+    captured = capsys.readouterr()
+    assert "no heartbeats" in captured.err
+    assert captured.out == ""
+
+
+def test_commit_cost_uses_the_injectable_wall_clock(capsys):
+    from repro.cli import _run_commit_cost, build_parser
+    from repro.obs import FakeWallClock
+
+    args = build_parser().parse_args(
+        ["commit-cost", "--sizes", "64", "--curves", "secp256k1"])
+    clock = FakeWallClock(tick=0.5)
+    assert _run_commit_cost(args, clock=clock) == 0
+    out = capsys.readouterr().out
+    # Each measurement brackets with two reads: 0.5 s per column.
+    assert clock.reads == 4
+    assert "5.000e-01" in out or "0.5" in out

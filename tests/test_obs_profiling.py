@@ -1,0 +1,398 @@
+"""Tests for the host-cost profiler (repro.obs.profiling).
+
+Pins the module's three contracts: exclusive-time accounting whose
+subsystem shares sum to ~100%, strictly zero hooks when disabled, and
+byte-identical runs with profiling on or off.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import FLSession, ProtocolConfig
+from repro.ml import Dataset, SyntheticModel
+from repro.net import NetworkProfile
+from repro.obs import (
+    EventBus,
+    HostProfile,
+    HostProfiler,
+    MetricsRegistry,
+    PerfettoExporter,
+    RunManifest,
+    SYSTEM_WALL_CLOCK,
+    TelemetryCollector,
+)
+from repro.obs.events import IterationStarted
+from repro.obs.profiling import (
+    FakeWallClock,
+    ScopeStat,
+    WallClock,
+    _role_from_name,
+)
+from repro.sim import Simulator
+
+
+def _small_session(seed=3, params=500, trainers=4, verifiable=True):
+    config = ProtocolConfig(
+        num_partitions=2, t_train=600.0, t_sync=1200.0,
+        update_mode="gradient", poll_interval=0.25,
+        verifiable=verifiable, seed=seed,
+    )
+    datasets = [
+        Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
+        for index in range(trainers)
+    ]
+    return FLSession(
+        config, lambda: SyntheticModel(params), datasets,
+        network=NetworkProfile(num_ipfs_nodes=4, bandwidth_mbps=10.0),
+    )
+
+
+# -- wall clocks -----------------------------------------------------------------
+
+
+def test_system_wall_clock_is_monotonic():
+    first = SYSTEM_WALL_CLOCK.nanoseconds()
+    second = SYSTEM_WALL_CLOCK.nanoseconds()
+    assert second >= first
+    assert isinstance(SYSTEM_WALL_CLOCK.seconds(), float)
+    assert isinstance(SYSTEM_WALL_CLOCK, WallClock)
+
+
+def test_fake_wall_clock_ticks_per_read_and_advances():
+    clock = FakeWallClock(start=1.0, tick=0.5)
+    assert clock.seconds() == 1.0
+    assert clock.seconds() == 1.5
+    clock.advance(10.0)
+    assert clock.seconds() == 12.0
+    assert clock.reads == 3
+    with pytest.raises(ValueError):
+        clock.advance(-1.0)
+
+
+# -- role classification ---------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,role", [
+    ("trainer-3:up:p1", "trainer"),
+    ("trainer-12", "trainer"),
+    ("aggregator-0:merge:p0", "aggregator"),
+    ("directory:dir.lookup", "directory"),
+    ("cohort-12:i0", "cohort"),
+    ("round:2", "round"),
+    ("msg:dir.lookup:a->b", "msg"),
+    ("xfer:a->b", "xfer"),
+    ("ipfs-node:n3", "ipfs-node"),
+    ("kad:publish:n1", "kad"),
+    ("central:t0", "central"),
+])
+def test_role_from_name(name, role):
+    assert _role_from_name(name) == role
+
+
+# -- exclusive-time accounting ---------------------------------------------------
+
+
+def test_nested_scopes_account_exclusively():
+    # tick=1ms: each begin/end reads the clock once, so durations are
+    # exact multiples of the tick and the partition identity is exact.
+    clock = FakeWallClock(tick=1e-3)
+    profiler = HostProfiler(clock=clock)
+    outer = profiler.begin("crypto", "commit", "trainer")
+    inner = profiler.begin("crypto", "multiexp", "trainer")
+    profiler.end(inner)   # elapsed 1ms, all self
+    profiler.end(outer)   # elapsed 3ms, self 2ms
+    profile = profiler.profile()
+    by_label = {scope.label: scope for scope in profile.scopes}
+    assert by_label["crypto.multiexp.trainer"].self_seconds \
+        == pytest.approx(1e-3)
+    assert by_label["crypto.multiexp.trainer"].total_seconds \
+        == pytest.approx(1e-3)
+    assert by_label["crypto.commit.trainer"].self_seconds \
+        == pytest.approx(2e-3)
+    assert by_label["crypto.commit.trainer"].total_seconds \
+        == pytest.approx(3e-3)
+    # Self times partition the attributed window.
+    assert profile.attributed_seconds == pytest.approx(3e-3)
+
+
+def test_scope_context_manager_and_call_counts():
+    clock = FakeWallClock(tick=1e-3)
+    profiler = HostProfiler(clock=clock)
+    for _ in range(3):
+        with profiler.scope("net", "recompute"):
+            pass
+    profile = profiler.profile()
+    (scope,) = profile.scopes
+    assert scope.calls == 3
+    assert scope.label == "net.recompute"
+    assert scope.self_seconds == pytest.approx(3e-3)
+
+
+def test_current_role_follows_the_dispatch_stack():
+    profiler = HostProfiler(clock=FakeWallClock(tick=1e-6))
+    assert profiler.current_role() == ""
+
+    class FakeEvent:
+        def __init__(self, name):
+            self.callbacks = []
+            self.name = name
+            self._generator = iter(())
+
+    frame = profiler.dispatch_begin(FakeEvent("trainer-1:up:p0"))
+    assert profiler.current_role() == "trainer"
+    profiler.dispatch_end(frame)
+    assert profiler.current_role() == ""
+    assert profiler.dispatches == 1
+
+
+# -- install / uninstall ---------------------------------------------------------
+
+
+def test_disabled_by_default_and_hooks_removed_on_uninstall():
+    sim = Simulator()
+    assert sim.profiler is None
+    assert sim.bus.profiler is None
+    profiler = HostProfiler()
+    profiler.install(sim)
+    assert sim.profiler is profiler
+    assert sim.bus.profiler is profiler
+    assert profiler.installed
+    profiler.uninstall()
+    assert sim.profiler is None
+    assert sim.bus.profiler is None
+    assert not profiler.installed
+    profiler.uninstall()  # idempotent
+
+
+def test_double_install_raises():
+    sim = Simulator()
+    profiler = HostProfiler().install(sim)
+    with pytest.raises(RuntimeError):
+        profiler.install(Simulator())
+    with pytest.raises(RuntimeError):
+        HostProfiler().install(sim)
+    profiler.uninstall()
+    HostProfiler().install(sim).uninstall()
+
+
+def test_attach_wires_and_unwires_the_session_committers():
+    session = _small_session()
+    committers = {id(c) for c in session.committers.values()}
+    assert committers  # verifiable session has shared committers
+    profiler = HostProfiler()
+    profiler.attach(session)
+    for committer in session.committers.values():
+        assert committer.profiler is profiler
+    profiler.uninstall()
+    for committer in session.committers.values():
+        assert committer.profiler is None
+
+
+def test_sample_interval_must_be_positive():
+    with pytest.raises(ValueError):
+        HostProfiler(sample_interval=0.0)
+
+
+# -- end-to-end attribution on a real session ------------------------------------
+
+
+def test_session_profile_covers_the_subsystems_and_shares_sum_to_one():
+    session = _small_session()
+    registry = MetricsRegistry(session.sim.bus)
+    profiler = HostProfiler()
+    profiler.attach(session)
+    session.run(rounds=1)
+    profiler.uninstall()
+    registry.close()
+    profile = profiler.profile(fingerprint=session.fingerprint())
+
+    shares = profile.shares()
+    assert set(shares) >= {"kernel", "crypto", "net", "directory", "ml",
+                           "obs"}
+    assert sum(shares.values()) == pytest.approx(1.0)
+    assert profile.dispatches > 0
+    assert profile.wall_seconds > 0
+    assert profile.sim_seconds == pytest.approx(session.sim.now)
+    assert profile.sim_per_wall == pytest.approx(
+        profile.sim_seconds / profile.wall_seconds)
+    # Attribution never exceeds the window it measured.
+    assert profile.attributed_seconds <= profile.wall_seconds
+
+    labels = {scope.label for scope in profile.scopes}
+    assert "net.recompute" in labels
+    assert "ml.train.trainer" in labels
+    assert "crypto.commit.trainer" in labels
+    assert "crypto.multiexp.trainer" in labels
+    # Directory-side verification attributes to the directory role.
+    assert "crypto.verify.directory" in labels
+    assert any(label.startswith("directory.serve.") for label in labels)
+    # Bus subscriber cost is attributed per handler owner class; the
+    # session's own TelemetryCollector and the attached MetricsRegistry
+    # both show up.
+    subscriber_actors = {scope.actor for scope in profile.scopes
+                         if scope.subsystem == "obs"}
+    assert "TelemetryCollector" in subscriber_actors
+    assert "MetricsRegistry" in subscriber_actors
+    # Kernel dispatch frames carry actor roles.
+    kernel_actors = {scope.actor for scope in profile.scopes
+                     if scope.subsystem == "kernel"}
+    assert "trainer" in kernel_actors
+    assert "directory" in kernel_actors
+
+    assert profile.fingerprint["digest"] \
+        == session.fingerprint()["digest"]
+
+
+def test_profiling_does_not_perturb_the_run():
+    """Fingerprint, manifest and model bytes are identical with the
+    profiler on or off (the sim-clock-only contract).
+
+    The trainer's wall clock is faked on both sides: the
+    ``CommitmentComputed.seconds`` histogram measures real wall time
+    and differs between *any* two runs otherwise.
+    """
+    def run(profiled):
+        session = _small_session()
+        for trainer in session.trainers:
+            trainer.wall_clock = FakeWallClock(tick=1e-4)
+        registry = MetricsRegistry(session.sim.bus)
+        profiler = HostProfiler().attach(session) if profiled else None
+        session.run(rounds=2)
+        if profiler is not None:
+            profiler.uninstall()
+        registry.close()
+        manifest = RunManifest.collect(registry, session.fingerprint())
+        return (manifest.to_json(), session.model_of(0).get_params(),
+                session.sim.now)
+
+    bare_json, bare_params, bare_now = run(False)
+    prof_json, prof_params, prof_now = run(True)
+    assert prof_json == bare_json
+    assert np.array_equal(prof_params, bare_params)
+    assert prof_now == bare_now
+
+
+def test_throughput_samples_accumulate_monotonically():
+    session = _small_session(verifiable=False)
+    profiler = HostProfiler(sample_interval=1e-9)  # sample every dispatch
+    profiler.attach(session)
+    session.run(rounds=1)
+    profiler.uninstall()
+    profile = profiler.profile()
+    assert len(profile.samples) >= 2
+    walls = [sample["wall_seconds"] for sample in profile.samples]
+    sims = [sample["sim_seconds"] for sample in profile.samples]
+    dispatches = [sample["dispatches"] for sample in profile.samples]
+    assert walls == sorted(walls)
+    assert sims == sorted(sims)
+    assert dispatches == sorted(dispatches)
+    # The final (uninstall) sample covers the whole window.
+    assert walls[-1] == pytest.approx(profile.wall_seconds)
+    assert sims[-1] == pytest.approx(profile.sim_seconds)
+    assert dispatches[-1] == profile.dispatches
+
+
+# -- bus subscriber hook ----------------------------------------------------------
+
+
+def test_publish_profiled_preserves_delivery_and_attributes_handlers():
+    bus = EventBus()
+    collector = TelemetryCollector(bus)
+    seen = []
+    bus.subscribe(seen.append, IterationStarted)
+    profiler = HostProfiler(clock=FakeWallClock(tick=1e-3))
+    bus.profiler = profiler
+    event = IterationStarted(at=0.0, iteration=0)
+    bus.publish(event)
+    bus.profiler = None
+    assert seen == [event]
+    actors = {scope.actor for scope in profiler.profile().scopes}
+    assert "TelemetryCollector" in actors
+    collector.close()
+
+
+# -- serialization / report -------------------------------------------------------
+
+
+def test_profile_json_round_trip(tmp_path):
+    scopes = (
+        ScopeStat("kernel", "dispatch", "trainer", 10, 0.5, 0.9),
+        ScopeStat("net", "recompute", "", 4, 0.25, 0.25),
+    )
+    profile = HostProfile(
+        fingerprint={"digest": "abc"}, wall_seconds=1.0, sim_seconds=50.0,
+        dispatches=10, scopes=scopes,
+        samples=({"wall_seconds": 1.0, "sim_seconds": 50.0,
+                  "dispatches": 10.0},),
+    )
+    path = tmp_path / "profile.json"
+    profile.write(path)
+    loaded = HostProfile.load(path)
+    assert loaded == profile
+    data = json.loads(path.read_text())
+    assert data["version"] == 1
+    assert data["sim_per_wall"] == pytest.approx(50.0)
+    assert data["shares"]["kernel"] == pytest.approx(0.5 / 0.75)
+    with pytest.raises(ValueError):
+        HostProfile.from_dict({"version": 99})
+
+
+def test_hotspots_are_ordered_and_format_reports_the_gauge():
+    profile = HostProfile(
+        wall_seconds=2.0, sim_seconds=100.0, dispatches=7,
+        scopes=(
+            ScopeStat("kernel", "dispatch", "trainer", 5, 1.0, 1.0),
+            ScopeStat("crypto", "commit", "trainer", 2, 0.5, 0.5),
+            ScopeStat("net", "recompute", "", 1, 0.1, 0.1),
+        ),
+    )
+    assert [scope.label for scope in profile.hotspots(2)] \
+        == ["kernel.dispatch.trainer", "crypto.commit.trainer"]
+    report = profile.format(top=2)
+    assert "50.0 sim-s/wall-s" in report
+    assert "kernel.dispatch.trainer" in report
+    assert "net.recompute" not in report  # beyond top
+    assert "shares:" in report
+
+
+def test_perfetto_add_profile_emits_slices_and_counters():
+    profile = HostProfile(
+        wall_seconds=1.0, sim_seconds=10.0, dispatches=4,
+        scopes=(
+            ScopeStat("kernel", "dispatch", "trainer", 2, 0.4, 0.4),
+            ScopeStat("kernel", "dispatch", "msg", 2, 0.2, 0.2),
+            ScopeStat("net", "recompute", "", 1, 0.1, 0.1),
+        ),
+        samples=(
+            {"wall_seconds": 0.5, "sim_seconds": 4.0, "dispatches": 2.0},
+            {"wall_seconds": 1.0, "sim_seconds": 10.0, "dispatches": 4.0},
+        ),
+    )
+    exporter = PerfettoExporter()
+    exporter.add_profile(profile, label="smoke")
+    trace = exporter.to_dict()
+    events = trace["traceEvents"]
+    slices = [e for e in events if e.get("ph") == "X" and e["pid"] == 2]
+    # One slice per scope, grouped on one track per subsystem.
+    assert len(slices) == 3
+    assert len({e["tid"] for e in slices}) == 2
+    kernel = [e for e in slices
+              if e["name"].startswith("kernel.dispatch")]
+    # Slices on a track are laid end to end, ordered by self time.
+    assert kernel[0]["ts"] == 0.0
+    assert kernel[1]["ts"] == pytest.approx(kernel[0]["dur"])
+    counters = [e for e in events if e.get("ph") == "C"]
+    assert {e["name"] for e in counters} \
+        == {"smoke:sim_s_per_wall_s", "smoke:dispatches_per_s"}
+    throughput = sorted((e for e in counters
+                         if e["name"] == "smoke:sim_s_per_wall_s"),
+                        key=lambda e: e["ts"])
+    # First window: 4 sim-s over 0.5 wall-s; second: 6 over 0.5.
+    assert throughput[0]["args"]["value"] == pytest.approx(8.0)
+    assert throughput[1]["args"]["value"] == pytest.approx(12.0)
+    names = {e["args"]["name"] for e in events if e.get("ph") == "M"
+             and e["name"] == "process_name"}
+    assert "host profile" in names
+    json.dumps(trace)  # serializable

@@ -4,6 +4,8 @@ import io
 import json
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.analysis.scale import ScaleScenario, run_scale_point, scale_manifest
 from repro.obs import (
@@ -74,6 +76,31 @@ def test_admission_is_deterministic_and_near_the_rate():
         policy.admits(TransferCompleted, "s", "d", index)
         for index in range(100)
     ) is False
+
+
+@given(
+    rate=st.sampled_from([0.1, 0.25, 0.5, 0.75]),
+    salt=st.integers(min_value=0, max_value=1_000_000),
+)
+@settings(max_examples=20, deadline=None)
+def test_admitted_fraction_of_distinct_identities_tracks_the_rate(
+        rate, salt):
+    """Property: over any population of distinct identities, keyed
+    sampling admits ≈rate of them (SHA-256 behaves uniformly), and the
+    decision for each identity is stable."""
+    policy = SamplingPolicy.firehose(rate)
+    population = 4096
+    decisions = [
+        policy.admits(TransferStarted, f"id-{salt}-{index}", salt)
+        for index in range(population)
+    ]
+    fraction = sum(decisions) / population
+    assert abs(fraction - rate) < 0.05
+    replay = [
+        policy.admits(TransferStarted, f"id-{salt}-{index}", salt)
+        for index in range(population)
+    ]
+    assert replay == decisions
 
 
 def test_rate_one_admits_everything():

@@ -215,8 +215,36 @@ def test_merge_rejects_mismatched_relative_error():
     a = QuantileSketch(relative_error=0.01)
     b = QuantileSketch(relative_error=0.02)
     b.add(1.0)
+    with pytest.raises(ValueError, match=r"relative_error.*0\.01.*0\.02"):
+        a.merge(b)
+
+
+def test_merge_layout_mismatch_leaves_the_target_untouched():
+    """The error path must not half-apply: a rejected merge leaves
+    count/total/extrema exactly as they were."""
+    a = QuantileSketch(relative_error=0.01)
+    for value in (1.0, 2.0, 3.0):
+        a.add(value)
+    before = (a.count, a.total, a.minimum, a.maximum, a.exact)
+    b = QuantileSketch(relative_error=0.05)
+    b.add(99.0)
     with pytest.raises(ValueError):
         a.merge(b)
+    assert (a.count, a.total, a.minimum, a.maximum, a.exact) == before
+    assert percentile(a.values(), 50) == 2.0
+
+
+def test_merge_mismatch_direction_is_reported_from_the_target():
+    """Both merge directions fail; each message leads with the
+    target's own relative_error."""
+    a = QuantileSketch(relative_error=0.01)
+    b = QuantileSketch(relative_error=0.02)
+    a.add(1.0)
+    b.add(2.0)
+    with pytest.raises(ValueError, match=r"0\.01 vs 0\.02"):
+        a.merge(b)
+    with pytest.raises(ValueError, match=r"0\.02 vs 0\.01"):
+        b.merge(a)
 
 
 def test_defaults_are_sane():
