@@ -17,7 +17,11 @@ stay within 10% of the bare (unobserved) run.  Likewise the audit
 stack: a run with the :class:`~repro.obs.InvariantMonitors` and
 :class:`~repro.obs.FlightRecorder` attached on top of telemetry (the
 ``python -m repro.cli audit`` configuration) gets the same 10% budget
-and must, of course, find nothing on an honest run.
+and must, of course, find nothing on an honest run.  The anomaly
+watchdog stacks on the audit wiring (the ``cli chaos --watch``
+configuration): same 10% budget, and its detectors must stay silent on
+the honest Fig. 1 run — a false positive here is a correctness failure,
+not a perf one.
 """
 
 import time
@@ -29,6 +33,7 @@ from repro.analysis.scale import ScaleScenario, run_scale_point
 from repro.core import FLSession, ProtocolConfig
 from repro.ml import SyntheticModel
 from repro.obs import (
+    AnomalyWatchdog,
     FlightRecorder,
     InvariantMonitors,
     MetricsRegistry,
@@ -132,6 +137,30 @@ def _one_monitors_run() -> float:
     return elapsed
 
 
+def _one_watchdog_run() -> float:
+    """Wall-clock seconds with the chaos-watch stack attached:
+    telemetry + flight recorder + invariant monitors + the anomaly
+    watchdog (the ``cli chaos --watch`` wiring)."""
+    session = _make_session()
+    recorder = FlightRecorder(session.sim.bus)
+    monitors = InvariantMonitors(session.sim.bus)
+    watchdog = AnomalyWatchdog.for_session(session)
+    started = time.perf_counter()
+    for _ in range(ROUNDS):
+        session.run_iteration()
+    elapsed = time.perf_counter() - started
+    watchdog.finalize()
+    session.collect_garbage(keep_iterations=1)
+    violations = monitors.finalize()
+    recorder.close()
+    assert violations == [], f"honest Fig. 1 run not clean: {violations}"
+    assert watchdog.anomalies == [], (
+        f"false positives on an honest run: {watchdog.summary()}")
+    assert watchdog.ticks > 0
+    assert recorder.incidents == []
+    return elapsed
+
+
 def test_unobserved_run_pays_no_instrumentation_tax():
     # Interleave the variants and compare best-of: per-run noise on
     # a shared machine dwarfs the effect under test, while the minimum
@@ -142,22 +171,26 @@ def test_unobserved_run_pays_no_instrumentation_tax():
     # whereas min-of-each-variant compares walls measured minutes apart
     # under drifting load.
     observed_runs, unobserved_runs = [], []
-    metrics_runs, monitors_runs = [], []
+    metrics_runs, monitors_runs, watchdog_runs = [], [], []
     for _ in range(REPEATS):
         observed_runs.append(_one_run(observed=True))
         unobserved_runs.append(_one_run(observed=False))
         metrics_runs.append(_one_metrics_run())
         monitors_runs.append(_one_monitors_run())
+        watchdog_runs.append(_one_watchdog_run())
     observed = min(observed_runs)
     unobserved = min(unobserved_runs)
     with_metrics = min(metrics_runs)
     with_monitors = min(monitors_runs)
+    with_watchdog = min(watchdog_runs)
     overhead = min(
         u / o for u, o in zip(unobserved_runs, observed_runs)) - 1.0
     metrics_overhead = min(
         m / u for m, u in zip(metrics_runs, unobserved_runs)) - 1.0
     monitors_overhead = min(
         m / u for m, u in zip(monitors_runs, unobserved_runs)) - 1.0
+    watchdog_overhead = min(
+        w / u for w, u in zip(watchdog_runs, unobserved_runs)) - 1.0
     save_table("obs_overhead", format_table(
         ["variant", "wall-clock (s)"],
         [
@@ -165,12 +198,15 @@ def test_unobserved_run_pays_no_instrumentation_tax():
             ["unobserved (no subscribers)", unobserved],
             ["metrics (registry + 0.25 s sampler)", with_metrics],
             ["audit (monitors + flight recorder)", with_monitors],
+            ["watch (audit + anomaly watchdog)", with_watchdog],
             ["bus overhead (unobserved vs observed)",
              f"{overhead * 100:+.1f}%"],
             ["metrics overhead (vs unobserved)",
              f"{metrics_overhead * 100:+.1f}%"],
             ["audit overhead (vs unobserved)",
              f"{monitors_overhead * 100:+.1f}%"],
+            ["watch overhead (vs unobserved)",
+             f"{watchdog_overhead * 100:+.1f}%"],
         ],
         title=f"{NUM_TRAINERS} trainers, {ROUNDS} rounds, Fig. 1 config",
     ))
@@ -184,6 +220,10 @@ def test_unobserved_run_pays_no_instrumentation_tax():
     )
     assert monitors_overhead <= MAX_MONITORS_OVERHEAD, (
         f"audit-attached run {with_monitors:.3f}s exceeds bare "
+        f"{unobserved:.3f}s by more than {MAX_MONITORS_OVERHEAD:.0%}"
+    )
+    assert watchdog_overhead <= MAX_MONITORS_OVERHEAD, (
+        f"watchdog-attached run {with_watchdog:.3f}s exceeds bare "
         f"{unobserved:.3f}s by more than {MAX_MONITORS_OVERHEAD:.0%}"
     )
 

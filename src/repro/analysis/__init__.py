@@ -10,6 +10,9 @@
 - :class:`BenchRecord` / :class:`BenchTrajectory` — the host-cost bench
   trajectory recorded by ``python -m repro.cli profile`` and gated
   against ``benchmarks/BENCH_profile.json``.
+- :func:`diagnose_runs` / :class:`DiagnosisReport` — differential run
+  diagnosis over manifest + profile pairs
+  (``python -m repro.cli explain``).
 """
 
 from .bench import (
@@ -17,6 +20,13 @@ from .bench import (
     BenchRecord,
     BenchTrajectory,
     DEFAULT_BENCH_THRESHOLD,
+)
+from .diagnose import (
+    Attribution,
+    DiagnosisReport,
+    SubsystemShift,
+    diagnose_runs,
+    load_run_artifact,
 )
 from .delays import (
     aggregator_download_bytes,
@@ -43,13 +53,16 @@ from .stats import Summary, bootstrap_ci, percentile, summarize
 from .sweeps import Sweep, SweepResults, grid
 
 __all__ = [
+    "Attribution",
     "BENCH_VERSION",
     "BenchRecord",
     "BenchTrajectory",
     "DEFAULT_BENCH_THRESHOLD",
     "DEFAULT_POPULATIONS",
+    "DiagnosisReport",
     "ScalePoint",
     "ScaleScenario",
+    "SubsystemShift",
     "aggregation_time_model",
     "aggregator_download_bytes",
     "format_row",
@@ -62,7 +75,9 @@ __all__ = [
     "Sweep",
     "SweepResults",
     "bootstrap_ci",
+    "diagnose_runs",
     "grid",
+    "load_run_artifact",
     "percentile",
     "run_scale_point",
     "run_scale_sweep",

@@ -44,7 +44,9 @@ Subcommands
     ``--progress`` JSONL file: last iteration, sim clock, event rate
     and telemetry peak per label.  Exits non-zero (with a stderr
     message) when the file is missing, unreadable or holds no
-    heartbeats yet, so scripts can poll it.
+    heartbeats yet, so scripts can poll it; ``--json`` prints the
+    latest heartbeat as one machine-readable JSON object under the
+    same exit contract.
 ``profile``
     Run a session under the host-cost profiler and print where the
     *wall* clock went: exclusive time per (subsystem, phase, actor)
@@ -60,6 +62,13 @@ Subcommands
     Diff two run manifests with a relative-change threshold; exits
     non-zero when a metric regressed (use ``--warn-only`` in advisory
     contexts like a new CI baseline).
+``explain``
+    Differential run diagnosis: given two runs' artifacts (a
+    RunManifest and/or HostProfile JSON per side, type sniffed from
+    the file), print a ranked attribution of what changed — subsystem
+    wall-cost shifts, anomaly kinds that fired in one run only, metric
+    regressions and config drift (``--json`` for the machine-readable
+    report; see docs/OBSERVABILITY.md).
 ``audit``
     Run a session with the invariant monitors and flight recorder
     attached; print every invariant violation and sealed incident and
@@ -77,6 +86,10 @@ Subcommands
     non-zero when the surviving trainers fail to converge or any
     invariant fired.  Without ``--plan`` it is the honest-infrastructure
     control run (pair with ``--forbid-retry-exhausted`` in CI).
+    ``--watch`` attaches the online anomaly watchdog
+    (:mod:`repro.obs.anomaly`); ``--expect-anomaly KIND`` fails the run
+    unless that kind was classified, ``--forbid-anomalies`` fails it if
+    anything fired.
 
 The trace-family subcommands (``trace``/``timeline``/``critical-path``/
 ``metrics``) share the same session knobs and flush their output even
@@ -87,6 +100,7 @@ want for debugging that failure).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -98,8 +112,10 @@ from .analysis import (
     DEFAULT_BENCH_THRESHOLD,
     DEFAULT_POPULATIONS,
     ScaleScenario,
+    diagnose_runs,
     format_scale_table,
     format_table,
+    load_run_artifact,
     optimal_providers,
     run_scale_sweep,
     scale_manifest,
@@ -114,6 +130,7 @@ from .core.adversary import (
 from .crypto import sha256
 from .faults import FaultPlan, RetryPolicy
 from .obs import (
+    AnomalyWatchdog,
     CountersRegistry,
     CriticalPathAnalyzer,
     FlightRecorder,
@@ -269,6 +286,31 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--warn-only", action="store_true",
                          help="report regressions but exit 0")
 
+    explain = subparsers.add_parser(
+        "explain",
+        help="differential run diagnosis: which subsystems, anomalies, "
+             "metrics and config keys moved between two runs (each "
+             "side a RunManifest or HostProfile JSON, sniffed by "
+             "shape)",
+    )
+    explain.add_argument("base",
+                         help="baseline artifact (RunManifest or "
+                              "HostProfile JSON)")
+    explain.add_argument("current",
+                         help="candidate artifact (RunManifest or "
+                              "HostProfile JSON)")
+    explain.add_argument("--profile-base", default=None,
+                         help="baseline HostProfile JSON, when the "
+                              "positional is a manifest")
+    explain.add_argument("--profile-current", default=None,
+                         help="candidate HostProfile JSON, when the "
+                              "positional is a manifest")
+    explain.add_argument("--threshold", type=float, default=0.10,
+                         help="relative-change tolerance for the "
+                              "metric diff (0.10 = 10%%)")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the diagnosis as one JSON object")
+
     audit = subparsers.add_parser(
         "audit",
         help="run a session under the invariant monitors and flight "
@@ -331,6 +373,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "retries)")
     chaos.add_argument("--warn-only", action="store_true",
                        help="report problems but exit 0")
+    chaos.add_argument("--watch", action="store_true",
+                       help="attach the anomaly watchdog (online "
+                            "detectors: retry storms, throughput "
+                            "collapse, queue runaway, sim stall, "
+                            "convergence); anomalies seal incident "
+                            "bundles and are summarized at the end")
+    chaos.add_argument("--expect-anomaly", action="append",
+                       default=None, metavar="KIND",
+                       help="fail unless the watchdog classified this "
+                            "anomaly kind (repeatable; implies "
+                            "--watch) — the CI chaos-detection gate")
+    chaos.add_argument("--forbid-anomalies", action="store_true",
+                       help="fail if the watchdog classified any "
+                            "anomaly (implies --watch) — the control-"
+                            "run false-positive tripwire")
 
     scale = subparsers.add_parser(
         "scale",
@@ -383,6 +440,11 @@ def build_parser() -> argparse.ArgumentParser:
     status.add_argument("progress", help="progress JSONL file to read")
     status.add_argument("--tail", type=int, default=1,
                         help="heartbeats to show per label")
+    status.add_argument("--json", action="store_true",
+                        help="print the latest heartbeat as one JSON "
+                             "object instead of the human summary "
+                             "(same non-zero exit when there is "
+                             "nothing to report)")
 
     profile = subparsers.add_parser(
         "profile",
@@ -846,11 +908,18 @@ def _run_incidents(args) -> int:
 def _run_chaos(args) -> int:
     plan = FaultPlan.load(args.plan) if args.plan else FaultPlan()
     session = _build_trace_session(args, faults=plan)
+    # Subscription order matters: the recorder first, so its ring
+    # already holds a watchdog anomaly when the seal check runs.
     recorder = FlightRecorder(session.sim.bus)
     monitors = InvariantMonitors(session.sim.bus)
     counters = CountersRegistry(session.sim.bus)
     registry = MetricsRegistry(session.sim.bus) if args.manifest else None
+    watch = bool(args.watch or args.expect_anomaly
+                 or args.forbid_anomalies)
+    watchdog = AnomalyWatchdog.for_session(session) if watch else None
     failure = _run_rounds(session, args.rounds)
+    if watchdog is not None:
+        watchdog.finalize()
     if failure is None:
         # Evict every finished round's objects first, so the end-of-run
         # leak check only flags storage the protocol truly abandoned
@@ -889,10 +958,34 @@ def _run_chaos(args) -> int:
                         "on a run that forbids it")
     if violations:
         problems.append(f"{len(violations)} invariant violation(s)")
+    if watchdog is not None:
+        observed_kinds = watchdog.kinds()
+        missing = [kind for kind in (args.expect_anomaly or ())
+                   if kind not in observed_kinds]
+        if missing:
+            problems.append("expected anomaly kind(s) not detected: "
+                            + ", ".join(missing))
+        if args.forbid_anomalies and watchdog.anomalies:
+            problems.append(
+                f"{len(watchdog.anomalies)} anomaly(ies) classified on "
+                "a run that forbids them: "
+                + ", ".join(f"{kind}={count}" for kind, count
+                            in watchdog.summary().items()))
 
     for violation in violations:
         print(f"VIOLATION [{violation.invariant}] {violation.subject}: "
               f"{violation.detail}")
+    if watchdog is not None:
+        for anomaly in watchdog.anomalies:
+            evidence = " ".join(
+                f"{key}={value}" for key, value in anomaly.evidence)
+            print(f"ANOMALY [{anomaly.kind}/{anomaly.severity}] "
+                  f"t={anomaly.at:.3f} iter={anomaly.iteration} "
+                  f"{anomaly.detector}: {evidence}")
+        print("watchdog: no anomalies" if not watchdog.anomalies else
+              "watchdog: " + ", ".join(
+                  f"{kind}={count}" for kind, count
+                  in watchdog.summary().items()))
     for bundle in recorder.incidents:
         print(bundle.summary())
     if args.incidents_dir and recorder.incidents:
@@ -1032,6 +1125,9 @@ def _run_status(args) -> int:
         print(f"status: no heartbeats in {args.progress} (yet)",
               file=sys.stderr)
         return 1
+    if args.json:
+        print(json.dumps(records[-1], sort_keys=True))
+        return 0
     by_label = {}
     for record in records:
         by_label.setdefault(record.get("label") or "run", []).append(record)
@@ -1058,6 +1154,42 @@ def _run_compare(args) -> int:
     print(diff.format())
     if diff.has_regressions and not args.warn_only:
         return 1
+    return 0
+
+
+def _run_explain(args) -> int:
+    artifacts = {"manifest": {}, "profile": {}}
+    try:
+        for side, path in (("base", args.base),
+                           ("current", args.current)):
+            kind, artifact = load_run_artifact(path)
+            artifacts[kind][side] = artifact
+        for side, path in (("base", args.profile_base),
+                           ("current", args.profile_current)):
+            if not path:
+                continue
+            kind, artifact = load_run_artifact(path)
+            if kind != "profile":
+                raise ValueError(f"{path}: expected a HostProfile")
+            artifacts["profile"][side] = artifact
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"explain: {error}", file=sys.stderr)
+        return 1
+    try:
+        report = diagnose_runs(
+            base_manifest=artifacts["manifest"].get("base"),
+            current_manifest=artifacts["manifest"].get("current"),
+            base_profile=artifacts["profile"].get("base"),
+            current_profile=artifacts["profile"].get("current"),
+            threshold=args.threshold,
+        )
+    except ValueError as error:
+        print(f"explain: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, default=str))
+    else:
+        print(report.format())
     return 0
 
 
@@ -1114,6 +1246,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_profile(args)
     if args.command == "compare":
         return _run_compare(args)
+    if args.command == "explain":
+        return _run_explain(args)
     if args.command == "audit":
         return _run_audit(args)
     if args.command == "incidents":

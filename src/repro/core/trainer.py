@@ -22,11 +22,13 @@ import numpy as np
 
 from ..faults.retry import RetryExhaustedError, RetryPolicy
 from ..ipfs import DHT, IPFSClient, IPFSError
-from ..ml import Dataset, Model, compute_gradient, local_update
+from ..ml import Dataset, Model, compute_gradient, evaluate_model, \
+    local_update
 from ..net import Transport
 from ..obs.events import (
     CommitmentComputed,
     TrainerCompleted,
+    TrainingEvaluated,
     UploadCompleted,
     VerificationFailed,
 )
@@ -193,6 +195,15 @@ class Trainer:
         vector = self._compute_update_vector(schedule.iteration)
         if self.sim.now > schedule.t_train:
             return  # Abort: did not train in time (Algorithm 1 line 10).
+        if bus.wants(TrainingEvaluated):
+            # Convergence telemetry: pure evaluation on the local shard
+            # (no RNG, no sim interaction), paid only when observed.
+            loss, acc = evaluate_model(self.model, self.dataset)
+            bus.publish(TrainingEvaluated(
+                at=self.sim.now, iteration=schedule.iteration,
+                trainer=self.name, loss=loss, accuracy=acc,
+                samples=len(self.dataset.y),
+            ))
 
         parts = self.partitioner.split(vector)
 

@@ -10,7 +10,8 @@ Public surface:
 - training: :class:`TrainConfig`, :func:`compute_gradient`,
   :func:`local_update`.
 - reference algorithms: :func:`run_fedavg`, :func:`run_fedsgd`.
-- metrics: :func:`accuracy`, :func:`mean_loss`, :func:`model_distance`.
+- metrics: :func:`accuracy`, :func:`mean_loss`, :func:`model_distance`,
+  :func:`evaluate_model`.
 """
 
 from .data import (
@@ -23,7 +24,7 @@ from .data import (
     train_test_split,
 )
 from .fedavg import FedAvgResult, fedavg_aggregate, run_fedavg, run_fedsgd
-from .metrics import accuracy, mean_loss, model_distance
+from .metrics import accuracy, evaluate_model, mean_loss, model_distance
 from .models import (
     DeepMLPClassifier,
     LinearRegression,
@@ -46,6 +47,7 @@ __all__ = [
     "TrainConfig",
     "accuracy",
     "compute_gradient",
+    "evaluate_model",
     "fedavg_aggregate",
     "local_update",
     "make_classification",

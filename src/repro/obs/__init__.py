@@ -40,10 +40,26 @@ liveness and telemetry cost.  A :class:`HostProfiler`
 (:mod:`repro.obs.profiling`) attributes *wall-clock* (host) cost to
 subsystem scopes — kernel dispatch, bandwidth recompute, crypto,
 directory, ML, per-subscriber telemetry — without touching the
-simulated clock or any RNG (``python -m repro.cli profile``).  See
+simulated clock or any RNG (``python -m repro.cli profile``).  An
+:class:`AnomalyWatchdog` (:mod:`repro.obs.anomaly`) hosts online
+detectors — retry storms, throughput collapse, queue runaway,
+simulation stall, convergence stall/divergence — that publish typed
+:class:`AnomalyDetected` events back onto the bus, auto-sealing
+incident bundles and feeding ``obs.anomaly.*`` manifest gauges
+(``python -m repro.cli chaos --watch``).  See
 ``docs/OBSERVABILITY.md``.
 """
 
+from .anomaly import (
+    ANOMALY_KINDS,
+    AnomalyWatchdog,
+    ConvergenceDetector,
+    Detector,
+    QueueRunawayDetector,
+    RetryStormDetector,
+    SimStallDetector,
+    ThroughputCollapseDetector,
+)
 from .bus import (
     EventBus,
     SAMPLED_EVENT_FAMILIES,
@@ -60,6 +76,7 @@ from .critical_path import (
     StragglerReport,
 )
 from .events import (
+    AnomalyDetected,
     BlockEvicted,
     BlockFetched,
     BlockStored,
@@ -89,6 +106,7 @@ from .events import (
     SyncPhaseStarted,
     TakeoverPerformed,
     TrainerCompleted,
+    TrainingEvaluated,
     TransferAborted,
     TransferCompleted,
     TransferStarted,
@@ -129,6 +147,9 @@ from .spans import SPAN_EVENTS, Span, SpanCollector, SpanTree, \
 from .telemetry import TelemetryCollector
 
 __all__ = [
+    "ANOMALY_KINDS",
+    "AnomalyDetected",
+    "AnomalyWatchdog",
     "BlameReport",
     "BlockEvicted",
     "BlockFetched",
@@ -137,10 +158,12 @@ __all__ = [
     "CohortLoadApplied",
     "CommitmentAccumulated",
     "CommitmentComputed",
+    "ConvergenceDetector",
     "CountersRegistry",
     "CriticalPath",
     "CriticalPathAnalyzer",
     "CriticalStep",
+    "Detector",
     "DhtLookup",
     "DiffEntry",
     "DirectoryRequest",
@@ -172,14 +195,17 @@ __all__ = [
     "PerfettoExporter",
     "ProgressReporter",
     "QuantileSketch",
+    "QueueRunawayDetector",
     "ResourceSampler",
     "RetryExhausted",
+    "RetryStormDetector",
     "RunManifest",
     "SAMPLED_EVENT_FAMILIES",
     "SPAN_EVENTS",
     "SYSTEM_WALL_CLOCK",
     "SamplingPolicy",
     "ScopeStat",
+    "SimStallDetector",
     "SnapshotSealed",
     "Span",
     "SpanCollector",
@@ -191,8 +217,10 @@ __all__ = [
     "SyncPhaseStarted",
     "TakeoverPerformed",
     "TelemetryCollector",
+    "ThroughputCollapseDetector",
     "TimeSeries",
     "TrainerCompleted",
+    "TrainingEvaluated",
     "TransferAborted",
     "TransferCompleted",
     "TransferStarted",

@@ -19,6 +19,7 @@ from typing import Dict
 
 from .bus import EventBus
 from .events import (
+    AnomalyDetected,
     BlockEvicted,
     BlockFetched,
     BlockStored,
@@ -40,6 +41,7 @@ from .events import (
     SnapshotSealed,
     TakeoverPerformed,
     TrainerCompleted,
+    TrainingEvaluated,
     TransferAborted,
     TransferCompleted,
     UpdateRegistered,
@@ -83,6 +85,8 @@ class CountersRegistry:
         RetryExhausted: "_on_retry_exhausted",
         ParticipantDegraded: "_on_participant_degraded",
         CohortLoadApplied: "_on_cohort_load",
+        TrainingEvaluated: "_on_training_evaluated",
+        AnomalyDetected: "_on_anomaly_detected",
     }
 
     @classmethod
@@ -237,3 +241,14 @@ class CountersRegistry:
     def _on_participant_degraded(self, event) -> None:
         self.increment("protocol.participants_degraded")
         self.increment(f"protocol.participants_degraded.{event.role}")
+
+    def _on_training_evaluated(self, event) -> None:
+        self.increment("ml.evaluations")
+        self.set_gauge("ml.loss.last", event.loss)
+        if event.accuracy is not None:
+            self.set_gauge("ml.accuracy.last", event.accuracy)
+
+    def _on_anomaly_detected(self, event) -> None:
+        self.increment("obs.anomaly.detected")
+        self.increment(f"obs.anomaly.detected.{event.kind}")
+        self.set_gauge("obs.anomaly.last_at", event.at)

@@ -72,6 +72,9 @@ __all__ = [
     "NodeRestarted",
     "RetryExhausted",
     "ParticipantDegraded",
+    # learning & anomaly telemetry
+    "TrainingEvaluated",
+    "AnomalyDetected",
     "PROTOCOL_EVENTS",
 ]
 
@@ -564,6 +567,62 @@ class CohortLoadApplied(Event):
     lookups: int
     bytes_up: float
     bytes_down: float
+
+
+@dataclass(frozen=True)
+class TrainingEvaluated(Event):
+    """A trainer evaluated its model on its local shard for one round.
+
+    Emitted from the ML layer (behind the usual ``bus.wants()`` guard,
+    so unobserved runs never pay the evaluation) right after local
+    training: ``loss`` is the model's loss on the trainer's shard,
+    ``accuracy`` the classification accuracy when the model is a
+    classifier (``None`` otherwise), ``samples`` the shard size.  The
+    convergence detectors (:mod:`repro.obs.anomaly`) fold these into a
+    per-iteration trajectory; evaluation is pure computation — no RNG,
+    no simulated-clock interaction — so emitting it never perturbs a
+    seeded replay.
+    """
+
+    at: float
+    iteration: int
+    trainer: str
+    loss: float
+    accuracy: Optional[float] = None
+    samples: int = 0
+
+
+@dataclass(frozen=True)
+class AnomalyDetected(Event):
+    """An online anomaly detector classified a degradation.
+
+    Published by :class:`~repro.obs.anomaly.AnomalyWatchdog` (never by
+    producers), so counters, traces and the forensics flight recorder
+    pick anomalies up like any other event — the recorder treats this as
+    a seal trigger.  ``kind`` is the catalog name (``retry_storm``,
+    ``throughput_collapse``, ``queue_runaway``, ``sim_stall``,
+    ``divergence``, ``convergence_stall`` — see
+    ``docs/OBSERVABILITY.md``), ``severity`` is ``"warning"`` or
+    ``"critical"``, ``detector`` the detector class that fired, and
+    ``window`` the trailing detection window in simulated seconds (0
+    when the detector is not window-based).  ``evidence`` is a
+    canonically ordered tuple of ``(key, value)`` pairs — kept as pairs
+    (not a dict) so the event stays hashable and serializes with a
+    stable field order; :meth:`evidence_dict` gives the mapping view.
+    ``iteration`` is -1 for infrastructure-scoped anomalies.
+    """
+
+    at: float
+    iteration: int
+    kind: str
+    severity: str
+    detector: str
+    window: float = 0.0
+    evidence: tuple = ()
+
+    def evidence_dict(self) -> dict:
+        """The evidence pairs as a mapping."""
+        return dict(self.evidence)
 
 
 #: The iteration-scoped events :class:`~repro.obs.telemetry

@@ -11,8 +11,10 @@ gap as an ordinary bus subscriber:
   ring buffer — the *event window*,
 - it tracks each partition's registered contributions — uploader,
   Pedersen commitment, CID — and the directory's accumulator totals,
-- on :class:`~repro.obs.events.VerificationFailed` or
-  :class:`~repro.obs.events.InvariantViolated` it seals an
+- on :class:`~repro.obs.events.VerificationFailed`,
+  :class:`~repro.obs.events.InvariantViolated` or
+  :class:`~repro.obs.events.AnomalyDetected` (the
+  :mod:`repro.obs.anomaly` watchdog's classification) it seals an
   :class:`IncidentBundle`: the window, the reconstructed span chain of
   the running iteration (:func:`~repro.obs.spans.build_span_tree`), a
   Perfetto slice of the incident, and — for failed update
@@ -59,6 +61,7 @@ from typing import Deque, Dict, List, Optional, Tuple
 from . import events as _events_module
 from .bus import SAMPLED_EVENT_FAMILIES, EventBus, Subscription
 from .events import (
+    AnomalyDetected,
     CommitmentAccumulated,
     DirectoryRequest,
     Event,
@@ -142,7 +145,8 @@ def _event_record(event: Event) -> dict:
 class IncidentBundle:
     """Everything needed to diagnose one incident offline."""
 
-    #: "verification_failed" | "invariant_violated".
+    #: "verification_failed" | "invariant_violated" |
+    #: "anomaly_detected".
     kind: str
     iteration: int
     sealed_at: float
@@ -155,9 +159,19 @@ class IncidentBundle:
     span_tree: Optional[SpanTree] = None
 
     def perfetto(self) -> dict:
-        """A Perfetto/Chrome trace-event slice of the incident window."""
+        """A Perfetto/Chrome trace-event slice of the incident window.
+
+        Anomalies in the window render as instant markers on a
+        dedicated track, so the slice shows *when* the watchdog fired
+        relative to the span chain.
+        """
         trees = [self.span_tree] if self.span_tree is not None else []
-        return PerfettoExporter(trees).to_dict()
+        exporter = PerfettoExporter(trees)
+        anomalies = [event for event in self.events
+                     if isinstance(event, AnomalyDetected)]
+        if anomalies:
+            exporter.add_anomalies(anomalies)
+        return exporter.to_dict()
 
     def to_dict(self) -> dict:
         return {
@@ -279,6 +293,13 @@ class FlightRecorder:
             self._seal("verification_failed", event, event.iteration)
         elif cls is InvariantViolated:
             self._seal("invariant_violated", event, event.iteration)
+        elif cls is AnomalyDetected:
+            # The watchdog classified a degradation: auto-produce an
+            # incident bundle so the run leaves evidence behind even
+            # when no invariant tripped.  The trigger is already in the
+            # ring (appended above), so the window shows the anomaly in
+            # context.
+            self._seal("anomaly_detected", event, event.iteration)
 
     def _prune(self, current_iteration: int) -> None:
         """Drop per-contribution bookkeeping older than the replay

@@ -65,6 +65,44 @@ class PerfettoExporter:
         for span in tree:
             self._events.append(self._slice(span))
 
+    def add_anomalies(self, anomalies: Iterable,
+                      label: str = "anomalies") -> None:
+        """Render :class:`~repro.obs.events.AnomalyDetected` markers.
+
+        One instant marker per anomaly on a dedicated pid-1 track
+        (named via the usual node-track machinery, so it sorts with the
+        simulated-time tracks it annotates), plus a cumulative
+        ``anomaly.count`` counter track so a glance at the timeline
+        shows when detections accelerated.
+        """
+        tid = self._tid(label)
+        for index, anomaly in enumerate(anomalies):
+            args = {
+                "kind": anomaly.kind,
+                "severity": anomaly.severity,
+                "detector": anomaly.detector,
+                "iteration": anomaly.iteration,
+                "window": anomaly.window,
+            }
+            args.update(anomaly.evidence_dict())
+            self._events.append({
+                "name": f"anomaly:{anomaly.kind}",
+                "cat": "anomaly",
+                "ph": "i",
+                "s": "t",
+                "pid": _PID,
+                "tid": tid,
+                "ts": anomaly.at * _MICROS,
+                "args": args,
+            })
+            self._events.append({
+                "name": "anomaly.count",
+                "ph": "C",
+                "pid": _PID,
+                "ts": anomaly.at * _MICROS,
+                "args": {"value": index + 1},
+            })
+
     def add_profile(self, profile, label: str = "profile") -> None:
         """Render a :class:`~repro.obs.profiling.HostProfile` (pid 2).
 

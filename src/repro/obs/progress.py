@@ -57,6 +57,12 @@ def format_heartbeat(record: Dict[str, object]) -> str:
     sketches = record.get("sketch_histograms")
     if sketches:
         parts.append(f"sketches={sketches}")
+    anomalies = record.get("anomalies")
+    if anomalies:
+        parts.append(f"anomalies={anomalies}")
+    stalls = record.get("wall_stalls")
+    if stalls:
+        parts.append(f"wall_stalls={stalls}")
     parts.append(f"wall={record.get('wall_seconds', 0.0):.1f}s")
     return " ".join(parts)
 
@@ -74,6 +80,12 @@ class ProgressReporter:
     recorder:
         Optional :class:`~repro.obs.forensics.FlightRecorder`; adds its
         ring occupancy.
+    watchdog:
+        Optional :class:`~repro.obs.anomaly.AnomalyWatchdog`; adds the
+        running anomaly count (and kinds once any fired), and each
+        heartbeat doubles as the watchdog's wall-paced host loop: it
+        calls ``check_wall()``, the one livelock probe the sim-driven
+        tick cannot perform on itself.
     stream:
         Human-readable heartbeat destination (default ``sys.stderr``;
         pass ``None`` to disable).
@@ -90,7 +102,7 @@ class ProgressReporter:
     """
 
     def __init__(self, bus: EventBus,
-                 registry=None, recorder=None,
+                 registry=None, recorder=None, watchdog=None,
                  stream: Optional[IO[str]] = sys.stderr,
                  jsonl: Union[str, "os.PathLike[str]", IO[str], None] = None,
                  interval: float = 1.0,
@@ -100,6 +112,7 @@ class ProgressReporter:
             raise ValueError("heartbeat interval must be positive")
         self.registry = registry
         self.recorder = recorder
+        self.watchdog = watchdog
         self.stream = stream
         self.interval = float(interval)
         self.label = label
@@ -174,6 +187,15 @@ class ProgressReporter:
             record["sketch_histograms"] = registry.sketch_histograms()
         if self.recorder is not None:
             record["recorder_occupancy"] = self.recorder.occupancy
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.check_wall()
+            record["anomalies"] = len(watchdog.anomalies)
+            kinds = watchdog.kinds()
+            if kinds:
+                record["anomaly_kinds"] = kinds
+            if watchdog.wall_stalls:
+                record["wall_stalls"] = len(watchdog.wall_stalls)
         return record
 
     def heartbeat(self, force: bool = False) -> Optional[Dict[str, object]]:

@@ -1,0 +1,234 @@
+"""Tests for differential run diagnosis (``python -m repro.cli explain``)."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    Attribution,
+    DiagnosisReport,
+    diagnose_runs,
+    load_run_artifact,
+)
+from repro.cli import main
+from repro.obs import HostProfile, RunManifest, ScopeStat
+
+
+def scope(subsystem, self_seconds, phase="dispatch"):
+    return ScopeStat(subsystem=subsystem, phase=phase, actor="",
+                     calls=100, self_seconds=self_seconds,
+                     total_seconds=self_seconds)
+
+
+def fast_profile():
+    return HostProfile(
+        fingerprint={"digest": "abc", "trainers": 4},
+        wall_seconds=2.0, sim_seconds=1200.0, dispatches=1000,
+        scopes=(scope("kernel", 0.5), scope("net", 0.4)),
+    )
+
+
+def slow_profile():
+    # net blew up 0.4s -> 3.4s; kernel barely moved.
+    return HostProfile(
+        fingerprint={"digest": "abc", "trainers": 4},
+        wall_seconds=5.0, sim_seconds=1200.0, dispatches=1000,
+        scopes=(scope("net", 3.4), scope("kernel", 0.6)),
+    )
+
+
+def manifest(counters=None, gauges=None, fingerprint=None):
+    return RunManifest(
+        fingerprint=fingerprint or {"digest": "abc", "trainers": 4},
+        counters=dict(counters or {}), gauges=dict(gauges or {}),
+    )
+
+
+# -- diagnose_runs ---------------------------------------------------------------
+
+
+def test_diagnose_requires_at_least_one_artifact_pair():
+    with pytest.raises(ValueError, match="two manifests or two profiles"):
+        diagnose_runs(base_manifest=manifest())
+    with pytest.raises(ValueError):
+        diagnose_runs(base_profile=fast_profile())
+
+
+def test_profile_pair_names_the_regressing_subsystem():
+    report = diagnose_runs(base_profile=fast_profile(),
+                           current_profile=slow_profile())
+    top = report.top_attribution()
+    assert top is not None
+    assert top.kind == "subsystem"
+    assert top.subject == "net"
+    assert top.magnitude == pytest.approx(3.0)
+    assert "+750%" in top.detail
+    assert report.slowdown == pytest.approx(2.5)
+    # Shifts are sorted by grown self-seconds, worst first.
+    assert [s.subsystem for s in report.subsystem_shifts[:2]] \
+        == ["net", "kernel"]
+
+
+def test_anomaly_differential_is_attributed_by_kind():
+    base = manifest(counters={"obs.anomaly.detected": 0.0})
+    current = manifest(counters={
+        "obs.anomaly.detected": 3.0,
+        "obs.anomaly.detected.retry_storm": 2.0,
+        "obs.anomaly.detected.sim_stall": 1.0,
+    })
+    report = diagnose_runs(base_manifest=base, current_manifest=current)
+    assert report.anomalies_base == {}
+    assert report.anomalies_current == {"retry_storm": 2, "sim_stall": 1}
+    anomaly_attrs = [a for a in report.attributions
+                     if a.kind == "anomaly"]
+    assert [a.subject for a in anomaly_attrs] \
+        == ["retry_storm", "sim_stall"]  # sorted by count delta
+    assert "fired 2x in current run only" in anomaly_attrs[0].detail
+
+
+def test_config_drift_flags_fingerprint_mismatch():
+    base = manifest(fingerprint={"digest": "abc", "trainers": 4})
+    current = manifest(fingerprint={"digest": "xyz", "trainers": 8})
+    report = diagnose_runs(base_manifest=base, current_manifest=current)
+    assert not report.fingerprint_matches
+    assert report.config_changes == {"trainers": (4, 8)}
+    assert any(a.kind == "config" and a.subject == "trainers"
+               for a in report.attributions)
+    assert "WARNING: different config fingerprints" in report.format()
+    # The ignored digest key never shows up as a config change.
+    assert "digest" not in report.config_changes
+
+
+def test_metric_regressions_rank_in_the_attribution_list():
+    base = manifest(counters={"net.transfers_aborted": 2.0,
+                              "dht.lookups": 100.0})
+    current = manifest(counters={"net.transfers_aborted": 10.0,
+                                 "dht.lookups": 101.0})
+    report = diagnose_runs(base_manifest=base, current_manifest=current)
+    metric_attrs = [a for a in report.attributions if a.kind == "metric"]
+    assert [a.subject for a in metric_attrs] == ["net.transfers_aborted"]
+    assert metric_attrs[0].magnitude == pytest.approx(4.0)
+    assert report.metrics.unchanged == 1  # dht.lookups within threshold
+
+
+def test_fused_report_ranks_subsystems_before_anomalies_and_metrics():
+    base = manifest(counters={"x": 1.0})
+    current = manifest(counters={
+        "x": 5.0, "obs.anomaly.detected.queue_runaway": 1.0})
+    report = diagnose_runs(
+        base_manifest=base, current_manifest=current,
+        base_profile=fast_profile(), current_profile=slow_profile())
+    kinds = [a.kind for a in report.attributions]
+    assert kinds.index("subsystem") < kinds.index("anomaly") \
+        < kinds.index("metric")
+
+
+def test_identical_runs_have_nothing_to_attribute():
+    report = diagnose_runs(base_manifest=manifest(counters={"x": 1.0}),
+                           current_manifest=manifest(counters={"x": 1.0}))
+    assert report.attributions == []
+    assert "no differences worth attributing" in report.format()
+
+
+def test_report_to_dict_is_json_serializable():
+    report = diagnose_runs(
+        base_manifest=manifest(counters={"x": 1.0}),
+        current_manifest=manifest(
+            counters={"x": 9.0, "obs.anomaly.detected.divergence": 1.0}),
+        base_profile=fast_profile(), current_profile=slow_profile())
+    payload = json.loads(json.dumps(report.to_dict(), default=str))
+    assert payload["slowdown"] == pytest.approx(2.5)
+    assert payload["anomalies"]["current"] == {"divergence": 1}
+    assert payload["attributions"][0]["subject"] == "net"
+    assert payload["metrics"]["regressions"]
+
+
+def test_top_attribution_of_empty_report_is_none():
+    assert DiagnosisReport().top_attribution() is None
+    assert Attribution("net", "subsystem", "grew").to_dict()["kind"] \
+        == "subsystem"
+
+
+# -- load_run_artifact -----------------------------------------------------------
+
+
+def test_load_run_artifact_sniffs_manifest_and_profile(tmp_path):
+    manifest_path = tmp_path / "manifest.json"
+    manifest(counters={"x": 1.0}).write(manifest_path)
+    profile_path = tmp_path / "profile.json"
+    fast_profile().write(profile_path)
+    kind, artifact = load_run_artifact(manifest_path)
+    assert kind == "manifest" and isinstance(artifact, RunManifest)
+    kind, artifact = load_run_artifact(profile_path)
+    assert kind == "profile" and isinstance(artifact, HostProfile)
+
+
+def test_load_run_artifact_rejects_unknown_shapes(tmp_path):
+    junk = tmp_path / "junk.json"
+    junk.write_text('{"neither": true}')
+    with pytest.raises(ValueError, match="neither a RunManifest"):
+        load_run_artifact(junk)
+    array = tmp_path / "array.json"
+    array.write_text("[1, 2, 3]")
+    with pytest.raises(ValueError, match="not a JSON object"):
+        load_run_artifact(array)
+
+
+# -- the explain CLI -------------------------------------------------------------
+
+
+def test_explain_cli_names_the_regressing_subsystem(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    current = tmp_path / "current.json"
+    fast_profile().write(base)
+    slow_profile().write(current)
+    assert main(["explain", str(base), str(current)]) == 0
+    out = capsys.readouterr().out
+    assert "attribution (most suspicious first)" in out
+    assert "1. [subsystem] net:" in out
+    assert "wall clock: 2.50x base" in out
+
+
+def test_explain_cli_json_output_round_trips(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    current = tmp_path / "current.json"
+    manifest(counters={"x": 1.0}).write(base)
+    manifest(counters={
+        "x": 1.0, "obs.anomaly.detected.retry_storm": 2.0,
+    }).write(current)
+    assert main(["explain", str(base), str(current), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["fingerprint_matches"] is True
+    assert payload["attributions"][0]["subject"] == "retry_storm"
+
+
+def test_explain_cli_mixes_manifests_with_profile_flags(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    current = tmp_path / "current.json"
+    manifest(counters={"x": 1.0}).write(base)
+    manifest(counters={"x": 1.0}).write(current)
+    pb = tmp_path / "pb.json"
+    pc = tmp_path / "pc.json"
+    fast_profile().write(pb)
+    slow_profile().write(pc)
+    assert main(["explain", str(base), str(current),
+                 "--profile-base", str(pb),
+                 "--profile-current", str(pc)]) == 0
+    out = capsys.readouterr().out
+    assert "[subsystem] net:" in out
+
+
+def test_explain_cli_rejects_manifest_as_profile_flag(tmp_path, capsys):
+    base = tmp_path / "base.json"
+    current = tmp_path / "current.json"
+    manifest(counters={"x": 1.0}).write(base)
+    manifest(counters={"x": 1.0}).write(current)
+    assert main(["explain", str(base), str(current),
+                 "--profile-base", str(base)]) == 1
+    assert "expected a HostProfile" in capsys.readouterr().err
+
+
+def test_explain_cli_fails_cleanly_on_missing_file(tmp_path, capsys):
+    assert main(["explain", str(tmp_path / "nope.json"),
+                 str(tmp_path / "nope2.json")]) == 1
+    assert "explain:" in capsys.readouterr().err

@@ -283,6 +283,60 @@ def test_status_tail_limits_records(tmp_path, capsys):
     assert out.count("[p40]") == 2
 
 
+def test_status_json_prints_the_latest_heartbeat(tmp_path, capsys):
+    import json
+
+    path = tmp_path / "progress.jsonl"
+    path.write_text("".join(
+        json.dumps({"seq": index, "label": "p40", "iteration": index,
+                    "sim_seconds": float(index), "events": index,
+                    "events_per_s": 1.0, "wall_seconds": 0.1}) + "\n"
+        for index in range(3)))
+    assert main(["status", str(path), "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["seq"] == 2  # the latest record, as one JSON object
+    assert record["label"] == "p40"
+
+
+def test_status_json_preserves_the_exit_contract(tmp_path, capsys):
+    assert main(["status", str(tmp_path / "absent.jsonl"),
+                 "--json"]) == 1
+    assert "not found" in capsys.readouterr().err
+    empty = tmp_path / "empty.jsonl"
+    empty.write_text("")
+    assert main(["status", str(empty), "--json"]) == 1
+    assert "no heartbeats" in capsys.readouterr().err
+
+
+# -- chaos --watch -----------------------------------------------------------
+
+
+CLEAN_CHAOS = ["chaos", "--rounds", "1", "--trainers", "4",
+               "--params", "2000"]
+
+
+def test_chaos_expect_anomaly_implies_watch_and_fails_when_absent(
+        capsys):
+    # A clean run cannot produce a retry storm, so the expectation
+    # fails; --expect-anomaly alone must attach the watchdog.
+    assert main(CLEAN_CHAOS + ["--expect-anomaly", "retry_storm"]) == 1
+    out = capsys.readouterr().out
+    assert "expected anomaly kind(s) not detected: retry_storm" in out
+    assert "watchdog: no anomalies" in out
+
+
+def test_chaos_forbid_anomalies_passes_on_a_clean_run(capsys):
+    assert main(CLEAN_CHAOS + ["--forbid-anomalies"]) == 0
+    out = capsys.readouterr().out
+    assert "watchdog: no anomalies" in out
+    assert "chaos clean" in out
+
+
+def test_chaos_without_watch_reports_nothing_from_the_watchdog(capsys):
+    assert main(CLEAN_CHAOS) == 0
+    assert "watchdog" not in capsys.readouterr().out
+
+
 # -- profile -----------------------------------------------------------------
 
 

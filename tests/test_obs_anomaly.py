@@ -1,0 +1,496 @@
+"""Tests for the online anomaly watchdog and its detectors."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ANOMALY_KINDS,
+    AnomalyDetected,
+    AnomalyWatchdog,
+    ConvergenceDetector,
+    CountersRegistry,
+    Detector,
+    EventBus,
+    FakeWallClock,
+    FlightRecorder,
+    PerfettoExporter,
+    ProgressReporter,
+    QueueRunawayDetector,
+    RetryStormDetector,
+    SAMPLED_EVENT_FAMILIES,
+    SamplingPolicy,
+    SimStallDetector,
+    ThroughputCollapseDetector,
+    TrainingEvaluated,
+    format_heartbeat,
+)
+from repro.obs.anomaly import default_detectors
+from repro.obs.events import (
+    GradientRegistered,
+    IterationFinished,
+    IterationStarted,
+    RetryExhausted,
+    TransferAborted,
+    TransferStarted,
+)
+from repro.sim import Simulator
+
+
+def abort(at):
+    return TransferAborted(at=at, src="a", dst="b", size=1.0,
+                           reason="link_down")
+
+
+def exhausted(at):
+    return RetryExhausted(at=at, actor="trainer-0",
+                          operation="ipfs.get", attempts=3)
+
+
+def registered(at, iteration=0, uploader="trainer-0"):
+    return GradientRegistered(at=at, iteration=iteration,
+                              uploader=uploader, partition_id=0)
+
+
+# -- retry storm -----------------------------------------------------------------
+
+
+def test_retry_storm_fires_once_then_rearms_after_quiet_window():
+    detector = RetryStormDetector(window=60.0, min_events=3)
+    assert not list(detector.observe(abort(1.0)))
+    assert not list(detector.observe(abort(2.0)))
+    fired = list(detector.observe(abort(3.0)))
+    assert len(fired) == 1
+    anomaly = fired[0]
+    assert anomaly.kind == "retry_storm"
+    assert anomaly.severity == "warning"  # aborts only, no exhaustion
+    assert anomaly.evidence_dict()["events_in_window"] == 3
+    # Disarmed: the sustained storm does not flood.
+    assert not list(detector.observe(abort(4.0)))
+    # A quiet tick far past the window re-arms ...
+    detector.on_tick(500.0)
+    # ... and a fresh burst fires again.
+    assert not list(detector.observe(abort(501.0)))
+    assert not list(detector.observe(abort(502.0)))
+    assert len(list(detector.observe(abort(503.0)))) == 1
+
+
+def test_retry_storm_exhaustion_escalates_to_critical():
+    detector = RetryStormDetector(window=60.0, min_events=3)
+    detector.observe(abort(1.0))
+    detector.observe(abort(2.0))
+    fired = list(detector.observe(exhausted(3.0)))
+    assert fired[0].severity == "critical"
+    assert fired[0].evidence_dict()["retry_exhausted"] == 1
+
+
+def test_retry_storm_steady_rate_fires_at_most_once():
+    # A steady abort rate is a storm only against the initial empty
+    # baseline; once the trailing window is populated the 4x factor is
+    # never met again and the disarmed detector stays quiet.
+    detector = RetryStormDetector(window=60.0, min_events=3,
+                                  storm_factor=4.0)
+    fired = []
+    for at in (10.0, 30.0, 50.0, 70.0, 90.0, 110.0, 130.0, 150.0):
+        fired.extend(detector.observe(abort(at)))
+        detector.on_tick(at)  # give it every chance to re-arm
+    assert len(fired) == 1
+
+
+# -- throughput collapse ---------------------------------------------------------
+
+
+def test_throughput_collapse_gap_path_fires_once_per_round():
+    detector = ThroughputCollapseDetector(
+        expected_per_iteration=6, min_gap=5.0, gap_factor=8.0,
+        warmup_gaps=3)
+    detector.observe(IterationStarted(at=0.0, iteration=0,
+                                      t_train=600.0, t_sync=1200.0))
+    for at in (1.0, 1.5, 2.0):  # 2 gaps of 0.5 each
+        detector.observe(registered(at))
+    detector.observe(registered(2.5))  # 3rd gap -> warmup met
+    assert not list(detector.on_tick(3.0))
+    fired = list(detector.on_tick(60.0))  # 57.5s gap >> floor
+    assert len(fired) == 1
+    anomaly = fired[0]
+    assert anomaly.kind == "throughput_collapse"
+    assert anomaly.severity == "warning"
+    evidence = anomaly.evidence_dict()
+    assert evidence["observed"] == 4 and evidence["expected"] == 6
+    # Fire-once per round.
+    assert not list(detector.on_tick(80.0))
+
+
+def test_throughput_collapse_deadline_path_is_critical():
+    detector = ThroughputCollapseDetector(expected_per_iteration=2)
+    detector.observe(IterationStarted(at=0.0, iteration=3,
+                                      t_train=100.0, t_sync=200.0))
+    detector.observe(registered(1.0, iteration=3))
+    assert not list(detector.on_tick(50.0))  # before the deadline
+    fired = list(detector.on_tick(150.0))
+    assert len(fired) == 1
+    assert fired[0].severity == "critical"
+    assert fired[0].iteration == 3
+    assert fired[0].evidence_dict()["observed"] == 1
+
+
+def test_throughput_collapse_disarms_when_round_completes():
+    detector = ThroughputCollapseDetector(expected_per_iteration=2)
+    detector.observe(IterationStarted(at=0.0, iteration=0,
+                                      t_train=100.0, t_sync=200.0))
+    detector.observe(registered(1.0))
+    detector.observe(registered(2.0, uploader="trainer-1"))
+    assert not list(detector.on_tick(150.0))  # complete: no alarm
+    detector.observe(IterationFinished(at=160.0, iteration=0))
+    assert not list(detector.on_tick(500.0))  # closed: no alarm
+
+
+def test_throughput_collapse_inert_without_expected_count():
+    detector = ThroughputCollapseDetector()
+    detector.observe(IterationStarted(at=0.0, iteration=0,
+                                      t_train=10.0, t_sync=20.0))
+    assert not list(detector.on_tick(1000.0))
+
+
+# -- queue runaway ---------------------------------------------------------------
+
+
+class _FakeDirectory:
+    """Quacks like Directory.endpoint.inbox.items for the depth probe."""
+
+    def __init__(self):
+        class _Inbox:
+            items = []
+
+        class _Endpoint:
+            inbox = _Inbox()
+
+        self.endpoint = _Endpoint()
+
+
+def test_queue_runaway_fires_and_rearms_on_drain():
+    directory = _FakeDirectory()
+    detector = QueueRunawayDetector(directory=directory, queue_limit=8)
+    directory.endpoint.inbox.items = list(range(20))
+    fired = list(detector.on_tick(10.0))
+    assert len(fired) == 1
+    assert fired[0].kind == "queue_runaway"
+    assert fired[0].severity == "critical"
+    assert fired[0].evidence_dict()["depth"] == 20
+    # Still over the limit: disarmed, one anomaly per overload.
+    assert not list(detector.on_tick(11.0))
+    # Drains to half the limit -> re-arms -> fires on the next spike.
+    directory.endpoint.inbox.items = list(range(4))
+    assert not list(detector.on_tick(12.0))
+    directory.endpoint.inbox.items = list(range(30))
+    assert len(list(detector.on_tick(13.0))) == 1
+
+
+def test_queue_runaway_inert_without_directory():
+    assert not list(QueueRunawayDetector().on_tick(5.0))
+
+
+# -- sim stall -------------------------------------------------------------------
+
+
+def test_sim_stall_fires_past_sync_deadline_margin():
+    detector = SimStallDetector(stall_factor=0.25)
+    detector.observe(IterationStarted(at=0.0, iteration=0,
+                                      t_train=600.0, t_sync=1200.0))
+    assert not list(detector.on_tick(1400.0))  # inside the 300s margin
+    fired = list(detector.on_tick(1600.0))
+    assert len(fired) == 1
+    assert fired[0].kind == "sim_stall"
+    assert fired[0].severity == "critical"
+    assert fired[0].evidence_dict()["overrun"] == pytest.approx(400.0)
+    assert not list(detector.on_tick(1700.0))  # once per round
+
+
+def test_sim_stall_quiet_when_round_closes():
+    detector = SimStallDetector()
+    detector.observe(IterationStarted(at=0.0, iteration=0,
+                                      t_train=600.0, t_sync=1200.0))
+    detector.observe(IterationFinished(at=1100.0, iteration=0))
+    assert not list(detector.on_tick(5000.0))
+
+
+# -- convergence -----------------------------------------------------------------
+
+
+def _close_round(detector, iteration, loss, at):
+    detector.observe(TrainingEvaluated(
+        at=at - 1.0, iteration=iteration, trainer="trainer-0",
+        loss=loss, samples=10))
+    return list(detector.observe(
+        IterationFinished(at=at, iteration=iteration)))
+
+
+def test_convergence_stall_after_patience_rounds():
+    detector = ConvergenceDetector(patience=2, min_improvement=0.1)
+    assert not _close_round(detector, 0, 1.0, 10.0)
+    assert not _close_round(detector, 1, 0.5, 20.0)  # improvement
+    assert not _close_round(detector, 2, 0.5, 30.0)  # 1 flat round
+    fired = _close_round(detector, 3, 0.49, 40.0)    # 2nd flat round
+    assert len(fired) == 1
+    assert fired[0].kind == "convergence_stall"
+    assert fired[0].severity == "warning"
+    assert detector.losses == [(0, 1.0), (1, 0.5), (2, 0.5), (3, 0.49)]
+
+
+def test_convergence_divergence_is_critical():
+    detector = ConvergenceDetector(divergence_factor=2.0)
+    assert not _close_round(detector, 0, 0.5, 10.0)
+    fired = _close_round(detector, 1, 5.0, 20.0)  # 10x the best
+    assert any(a.kind == "divergence" and a.severity == "critical"
+               for a in fired)
+
+
+def test_convergence_divergence_on_nonfinite_loss():
+    detector = ConvergenceDetector()
+    fired = _close_round(detector, 0, float("nan"), 10.0)
+    assert [a.kind for a in fired] == ["divergence"]
+
+
+def test_convergence_averages_across_trainers_per_round():
+    detector = ConvergenceDetector()
+    detector.observe(TrainingEvaluated(at=1.0, iteration=0,
+                                       trainer="a", loss=1.0))
+    detector.observe(TrainingEvaluated(at=2.0, iteration=0,
+                                       trainer="b", loss=3.0))
+    detector.observe(IterationFinished(at=5.0, iteration=0))
+    assert detector.losses == [(0, 2.0)]
+
+
+def test_convergence_quiet_round_without_evaluations():
+    detector = ConvergenceDetector()
+    assert not list(detector.observe(
+        IterationFinished(at=5.0, iteration=0)))
+    assert detector.losses == []
+
+
+# -- watchdog wiring -------------------------------------------------------------
+
+
+def test_watchdog_rejects_detectors_tapping_sampled_families():
+    class BadDetector(Detector):
+        kind = "bad"
+        event_types = (TransferStarted,)
+
+    with pytest.raises(ValueError, match="sampled family"):
+        AnomalyWatchdog(EventBus(), detectors=[BadDetector()])
+
+
+def test_stock_detector_taps_are_disjoint_from_sampled_families():
+    for detector in default_detectors():
+        for event_type in detector.event_types:
+            assert not issubclass(event_type, SAMPLED_EVENT_FAMILIES)
+
+
+def test_stock_detectors_cover_the_published_kind_catalog():
+    kinds = {detector.kind for detector in default_detectors()}
+    kinds.add("divergence")  # ConvergenceDetector's second kind
+    assert kinds == set(ANOMALY_KINDS)
+
+
+def test_watchdog_publishes_observed_anomalies_on_the_bus():
+    bus = EventBus()
+    seen = []
+    bus.subscribe(seen.append, AnomalyDetected)
+    watchdog = AnomalyWatchdog(bus,
+                               detectors=[RetryStormDetector()])
+    for at in (1.0, 2.0, 3.0):
+        bus.publish(abort(at))
+    assert len(watchdog.anomalies) == 1
+    assert seen == watchdog.anomalies
+    assert watchdog.kinds() == ["retry_storm"]
+    assert watchdog.summary() == {"retry_storm": 1}
+    watchdog.finalize()
+    bus.publish(abort(4.0))
+    bus.publish(abort(5.0))
+    assert len(watchdog.anomalies) == 1  # unsubscribed after finalize
+
+
+def test_watchdog_detectors_see_firehose_despite_aggressive_sampling():
+    # The sampled families can be thinned to near-zero without starving
+    # a detector: taps are pre-sample by construction.
+    bus = EventBus(sampling=SamplingPolicy.firehose(1e-9))
+    watchdog = AnomalyWatchdog(bus, detectors=default_detectors())
+    for event_type in watchdog._taps:
+        assert all(bus.admits(event_type, key) for key in range(64))
+    # Emission sites for sampled families *would* drop nearly all:
+    assert not all(bus.admits(TransferStarted, key)
+                   for key in range(64))
+    for at in (1.0, 2.0, 3.0):
+        bus.publish(abort(at))
+    assert watchdog.kinds() == ["retry_storm"]
+
+
+def test_watchdog_tick_loop_follows_sim_clock_and_stops():
+    sim = Simulator()
+    directory = _FakeDirectory()
+    directory.endpoint.inbox.items = list(range(100))
+    watchdog = AnomalyWatchdog(
+        sim.bus, sim=sim, interval=5.0,
+        detectors=[QueueRunawayDetector(directory=directory,
+                                        queue_limit=8)])
+    sim.run(until=26.0)
+    assert watchdog.ticks == 5
+    assert watchdog.summary() == {"queue_runaway": 1}
+    watchdog.stop()
+    sim.run(until=100.0)
+    assert watchdog.ticks == 5  # epoch bump cancelled the loop
+
+
+def test_watchdog_wall_stall_recorded_locally_never_published():
+    sim = Simulator()
+    published = []
+    sim.bus.subscribe(published.append, AnomalyDetected)
+    clock = FakeWallClock(tick=200.0)
+    watchdog = AnomalyWatchdog(sim.bus, sim=sim, autostart=False,
+                               wall_clock=clock,
+                               wall_stall_seconds=300.0)
+    assert watchdog.check_wall() is None  # baseline read
+    assert watchdog.check_wall() is None  # 200s elapsed: under limit
+    entry = watchdog.check_wall()         # 400s with no sim progress
+    assert entry is not None
+    assert entry["kind"] == "wall_stall"
+    assert entry["wall_elapsed"] == pytest.approx(400.0)
+    assert watchdog.wall_stalls == [entry]
+    assert published == []  # wall-time evidence never hits the bus
+
+
+def test_progress_heartbeat_surfaces_watchdog_state():
+    bus = EventBus()
+    watchdog = AnomalyWatchdog(bus,
+                               detectors=[RetryStormDetector()],
+                               wall_clock=FakeWallClock(tick=0.0))
+    reporter = ProgressReporter(bus, watchdog=watchdog, stream=None,
+                                clock=lambda: 0.0)
+    for at in (1.0, 2.0, 3.0):
+        bus.publish(abort(at))
+    record = reporter.snapshot()
+    assert record["anomalies"] == 1
+    assert record["anomaly_kinds"] == ["retry_storm"]
+    assert "wall_stalls" not in record
+    assert "anomalies=1" in format_heartbeat(record)
+
+
+# -- downstream consumers --------------------------------------------------------
+
+
+def _storm_anomaly(at=3.0):
+    detector = RetryStormDetector()
+    detector.observe(abort(1.0))
+    detector.observe(abort(2.0))
+    return list(detector.observe(abort(at)))[0]
+
+
+def test_counters_fold_anomaly_and_evaluation_events():
+    bus = EventBus()
+    counters = CountersRegistry(bus)
+    bus.publish(TrainingEvaluated(at=1.0, iteration=0,
+                                  trainer="t", loss=0.25, accuracy=0.9))
+    bus.publish(_storm_anomaly())
+    snapshot = counters.snapshot()
+    assert snapshot["ml.evaluations"] == 1
+    assert snapshot["obs.anomaly.detected"] == 1
+    assert snapshot["obs.anomaly.detected.retry_storm"] == 1
+    gauges = counters.gauges()
+    assert gauges["ml.loss.last"] == 0.25
+    assert gauges["ml.accuracy.last"] == 0.9
+    assert gauges["obs.anomaly.last_at"] == 3.0
+
+
+def test_flight_recorder_seals_on_anomaly():
+    bus = EventBus()
+    recorder = FlightRecorder(bus)
+    bus.publish(abort(1.0))
+    bus.publish(_storm_anomaly())
+    recorder.close()
+    assert len(recorder.incidents) == 1
+    bundle = recorder.incidents[0]
+    assert bundle.kind == "anomaly_detected"
+    assert any(isinstance(e, AnomalyDetected) for e in bundle.events)
+    trace = bundle.perfetto()
+    names = {entry.get("name") for entry in trace["traceEvents"]}
+    assert "anomaly:retry_storm" in names
+
+
+def test_perfetto_add_anomalies_emits_instants_and_counter():
+    exporter = PerfettoExporter()
+    exporter.add_anomalies([_storm_anomaly()])
+    events = exporter.to_dict()["traceEvents"]
+    instants = [e for e in events if e.get("ph") == "i"]
+    counters = [e for e in events if e.get("ph") == "C"
+                and e.get("name") == "anomaly.count"]
+    assert len(instants) == 1
+    assert instants[0]["name"] == "anomaly:retry_storm"
+    assert instants[0]["args"]["severity"] == "warning"
+    assert counters[-1]["args"]["value"] == 1
+
+
+def test_anomaly_event_round_trips_evidence():
+    anomaly = _storm_anomaly()
+    assert anomaly.evidence == tuple(sorted(anomaly.evidence))
+    assert json.loads(json.dumps(anomaly.evidence_dict()))
+
+
+# -- end to end ------------------------------------------------------------------
+
+CHURN_CHAOS = [
+    "chaos", "--rounds", "2", "--aggregators-per-partition", "2",
+    "--request-timeout", "10", "--plan", "examples/plans/churn.json",
+]
+
+
+def test_churn_chaos_watchdog_classifies_storm_and_collapse(
+        tmp_path, capsys):
+    from repro.cli import main
+
+    incidents = tmp_path / "incidents"
+    code = main(CHURN_CHAOS + [
+        "--watch",
+        "--expect-anomaly", "retry_storm",
+        "--expect-anomaly", "throughput_collapse",
+        "--incidents-dir", str(incidents),
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "ANOMALY [retry_storm/" in out
+    assert "ANOMALY [throughput_collapse/" in out
+    assert "[anomaly_detected]" in out
+    assert "chaos clean" in out
+    bundles = list(incidents.glob("*.json"))
+    assert bundles  # anomalies auto-sealed incident bundles
+
+
+def test_clean_chaos_run_reports_zero_anomalies(capsys):
+    from repro.cli import main
+
+    code = main(["chaos", "--rounds", "1", "--trainers", "4",
+                 "--params", "2000", "--watch", "--forbid-anomalies"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "watchdog: no anomalies" in out
+    assert "chaos clean" in out
+
+
+def test_watchdog_attached_replay_is_byte_identical(tmp_path, capsys):
+    from repro.cli import main
+    from repro.obs import RunManifest
+
+    paths = [tmp_path / name for name in
+             ("watch-a.json", "watch-b.json", "bare.json")]
+    for path, watch in zip(paths, (True, True, False)):
+        argv = CHURN_CHAOS + ["--manifest", str(path)]
+        assert main(argv + ["--watch"] if watch else argv) == 0
+    capsys.readouterr()
+    assert paths[0].read_bytes() == paths[1].read_bytes()
+    watched = RunManifest.load(paths[0])
+    bare = RunManifest.load(paths[2])
+    # Watching is config-invisible: same fingerprint as the bare run.
+    assert watched.fingerprint["digest"] == bare.fingerprint["digest"]
+    # But the watched manifest carries the anomaly/evaluation counters.
+    assert watched.counters["obs.anomaly.detected"] >= 2
+    assert watched.counters["ml.evaluations"] > 0
+    assert "obs.anomaly.detected" not in bare.counters
