@@ -8,7 +8,8 @@ merge-and-download provider-side pre-aggregation optimization.
 
 The primary entry points live right here::
 
-    from repro import FLSession, ProtocolConfig, NetworkProfile, FaultPlan
+    from repro import (FLSession, ProtocolConfig, NetworkProfile,
+                       FaultPlan, DirectoryProfile)
 
 Subpackages
 -----------
@@ -42,7 +43,14 @@ Quickstart
 >>> _ = session.run(rounds=1)
 """
 
-from .core import FLSession, ProtocolConfig
+from .core import (
+    Directory,
+    DirectoryProfile,
+    FLSession,
+    ProtocolConfig,
+    ShardRouter,
+    ShardedDirectory,
+)
 from .core.telemetry import IterationMetrics, SessionMetrics
 from .faults import (
     FaultInjector,
@@ -66,6 +74,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CountersRegistry",
+    "Directory",
+    "DirectoryProfile",
     "EventBus",
     "FLSession",
     "FaultInjector",
@@ -81,6 +91,8 @@ __all__ = [
     "RetryPolicy",
     "RunManifest",
     "SessionMetrics",
+    "ShardRouter",
+    "ShardedDirectory",
     "TelemetryCollector",
     "__version__",
 ]

@@ -7,6 +7,9 @@
 - :func:`format_table` / :func:`series_shape` — benchmark output helpers.
 - :func:`run_scale_sweep` / :func:`scale_manifest` — the population
   scaling trajectory and its CI regression gate (docs/SCALING.md).
+- :func:`run_dirshard_sweep` / :func:`dirshard_manifest` — the
+  directory-sharding trajectory (registrations/sec vs shard count) and
+  its gate against ``benchmarks/BENCH_dirshard.json``.
 - :class:`BenchRecord` / :class:`BenchTrajectory` — the host-cost bench
   trajectory recorded by ``python -m repro.cli profile`` and gated
   against ``benchmarks/BENCH_profile.json``.
@@ -41,10 +44,18 @@ from .providers import (
 )
 from .results import format_row, format_table, series_shape
 from .scale import (
+    DEFAULT_DIRSHARD_POPULATIONS,
     DEFAULT_POPULATIONS,
+    DEFAULT_SHARD_COUNTS,
+    DirshardPoint,
+    DirshardScenario,
     ScalePoint,
     ScaleScenario,
+    dirshard_manifest,
+    format_dirshard_table,
     format_scale_table,
+    run_dirshard_point,
+    run_dirshard_sweep,
     run_scale_point,
     run_scale_sweep,
     scale_manifest,
@@ -58,8 +69,12 @@ __all__ = [
     "BenchRecord",
     "BenchTrajectory",
     "DEFAULT_BENCH_THRESHOLD",
+    "DEFAULT_DIRSHARD_POPULATIONS",
     "DEFAULT_POPULATIONS",
+    "DEFAULT_SHARD_COUNTS",
     "DiagnosisReport",
+    "DirshardPoint",
+    "DirshardScenario",
     "ScalePoint",
     "ScaleScenario",
     "SubsystemShift",
@@ -76,9 +91,13 @@ __all__ = [
     "SweepResults",
     "bootstrap_ci",
     "diagnose_runs",
+    "dirshard_manifest",
+    "format_dirshard_table",
     "grid",
     "load_run_artifact",
     "percentile",
+    "run_dirshard_point",
+    "run_dirshard_sweep",
     "run_scale_point",
     "run_scale_sweep",
     "scale_manifest",

@@ -39,16 +39,24 @@ move at all between runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
 
 from ..obs.profiling import SYSTEM_WALL_CLOCK, WallClock
 
 __all__ = [
+    "DEFAULT_DIRSHARD_POPULATIONS",
     "DEFAULT_POPULATIONS",
+    "DEFAULT_SHARD_COUNTS",
+    "DirshardPoint",
+    "DirshardScenario",
     "ScalePoint",
     "ScaleScenario",
+    "dirshard_manifest",
+    "format_dirshard_table",
     "format_scale_table",
+    "run_dirshard_point",
+    "run_dirshard_sweep",
     "run_scale_point",
     "run_scale_sweep",
     "scale_manifest",
@@ -56,6 +64,10 @@ __all__ = [
 
 #: The committed trajectory: 10^2 .. 10^5 trainers.
 DEFAULT_POPULATIONS = (100, 1_000, 10_000, 100_000)
+
+#: The committed directory-sharding trajectory.
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+DEFAULT_DIRSHARD_POPULATIONS = (1_000, 100_000)
 
 
 @dataclass(frozen=True)
@@ -313,6 +325,247 @@ def format_scale_table(points: Sequence[ScalePoint],
           round(point.sim_seconds, 2), point.registrations, point.lookups,
           point.recomputed_flows, point.stale_wakeups,
           point.telemetry_peak_bytes]
+         for point in points],
+        title=title,
+    )
+
+
+# -- directory-sharding sweep (ROADMAP item 2) ----------------------------------
+
+
+@dataclass(frozen=True)
+class DirshardScenario:
+    """The fixed shape every (population, shards) point shares.
+
+    Same deployment as :class:`ScaleScenario` (gradient mode, cohorts,
+    40k-parameter model) with two deliberate differences:
+
+    - ``processing_delay`` is non-zero: the sweep measures how sharding
+      divides the directory's *serialized server work* (the Sec. VI
+      bottleneck), so there must be serialized work to divide.  Sustained
+      registrations/sec is ``register_count / max-shard-busy-seconds`` —
+      a pure function of the deterministic load ledger, not wall clock.
+    - ``placement`` defaults to ``modulo``: consistent hashing over a
+      handful of ``(partition, iteration)`` keys balances imperfectly
+      (e.g. 2/4/2/0 over 4 shards for 8 partitions), which is a placement
+      property, not a serialization one.  Modulo placement keeps every
+      shard's share equal so the trajectory isolates the dividend.
+      ``docs/SCALING.md`` discusses the skew.
+    """
+
+    exact_trainers: int = 16
+    cohorts: int = 16
+    num_partitions: int = 8
+    model_params: int = 40_000
+    num_ipfs_nodes: int = 8
+    bandwidth_mbps: float = 10.0
+    iterations: int = 1
+    seed: int = 7
+    replication: int = 1
+    placement: str = "modulo"
+    #: Serialized directory seconds per request unit.
+    processing_delay: float = 2e-5
+
+    def __post_init__(self):
+        if self.processing_delay < 0:
+            raise ValueError("processing_delay must be non-negative")
+
+
+@dataclass(frozen=True)
+class DirshardPoint:
+    """Measured directory cost of one (population, shard count) point."""
+
+    population: int
+    shards: int
+    #: Wall-clock seconds per simulated iteration (min over repeats).
+    wall_seconds: float
+    sim_seconds: float
+    iterations: int
+    registrations: int
+    lookups: int
+    #: Request units dequeued across all shards (cohort bulk messages
+    #: count as their ``count``).
+    served_units: int
+    #: Serialized server seconds, summed over shards (deterministic).
+    busy_seconds: float
+    #: The busiest single shard's serialized seconds — the critical path.
+    max_busy_seconds: float
+    #: ``registrations / max_busy_seconds``: sustained registration
+    #: throughput limited by the slowest shard.  Deterministic.
+    registrations_per_second: float
+    #: shard name -> fraction of served units (load distribution).
+    shard_shares: Dict[str, float] = field(default_factory=dict)
+
+
+def _build_dirshard_session(population: int, shards: int,
+                            scenario: DirshardScenario):
+    from ..core import CohortPlan, DirectoryProfile, FLSession, \
+        ProtocolConfig
+    from ..ml import Dataset, SyntheticModel
+    from ..net import NetworkProfile
+    import numpy as np
+
+    config = ProtocolConfig(
+        num_partitions=scenario.num_partitions,
+        t_train=600.0,
+        t_sync=1200.0,
+        update_mode="gradient",
+        poll_interval=0.25,
+        seed=scenario.seed,
+    )
+    datasets = [
+        Dataset(np.full((1, 1), float(index + 1)), np.zeros(1))
+        for index in range(scenario.exact_trainers)
+    ]
+    return FLSession(
+        config,
+        lambda: SyntheticModel(scenario.model_params),
+        datasets,
+        network=NetworkProfile(
+            num_ipfs_nodes=scenario.num_ipfs_nodes,
+            bandwidth_mbps=scenario.bandwidth_mbps,
+        ),
+        directory=DirectoryProfile(
+            shards=shards,
+            replication=min(scenario.replication, shards),
+            placement=scenario.placement,
+            processing_delay=scenario.processing_delay,
+        ),
+        cohort=CohortPlan(
+            population=population,
+            cohorts=scenario.cohorts,
+            seed=scenario.seed,
+        ),
+    )
+
+
+def run_dirshard_point(population: int, shards: int,
+                       scenario: DirshardScenario = DirshardScenario(),
+                       repeats: int = 1,
+                       clock: Optional[WallClock] = None) -> DirshardPoint:
+    """Run one (population, shard count) point.
+
+    Wall-clock is the min over ``repeats`` (see
+    :func:`run_scale_point`); every other reported number derives from
+    the deterministic load ledger and must not move between runs.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    if clock is None:
+        clock = SYSTEM_WALL_CLOCK
+    best_wall = float("inf")
+    session = None
+    for _ in range(repeats):
+        session = _build_dirshard_session(population, shards, scenario)
+        started = clock.seconds()
+        for _ in range(scenario.iterations):
+            session.run_iteration()
+        wall = (clock.seconds() - started) / scenario.iterations
+        best_wall = min(best_wall, wall)
+    directory = session.directory
+    shard_servers = getattr(directory, "shards", None)
+    if shard_servers is None:
+        max_busy = directory.busy_seconds
+        shares = {"directory": 1.0}
+    else:
+        max_busy = directory.max_busy_seconds
+        total_units = max(1, directory.served_units)
+        shares = {
+            shard.name: shard.served_units / total_units
+            for shard in shard_servers
+        }
+    registrations = directory.register_count
+    return DirshardPoint(
+        population=population,
+        shards=shards,
+        wall_seconds=best_wall,
+        sim_seconds=session.sim.now,
+        iterations=scenario.iterations,
+        registrations=registrations,
+        lookups=directory.lookup_count,
+        served_units=directory.served_units,
+        busy_seconds=directory.busy_seconds,
+        max_busy_seconds=max_busy,
+        registrations_per_second=(
+            registrations / max_busy if max_busy > 0 else 0.0
+        ),
+        shard_shares=shares,
+    )
+
+
+def run_dirshard_sweep(
+    populations: Sequence[int] = DEFAULT_DIRSHARD_POPULATIONS,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    scenario: DirshardScenario = DirshardScenario(),
+    repeats: int = 1,
+    clock: Optional[WallClock] = None,
+) -> List[DirshardPoint]:
+    """Every (population, shard count) pair, populations outer."""
+    if not populations:
+        raise ValueError("a sweep needs at least one population")
+    if not shard_counts:
+        raise ValueError("a sweep needs at least one shard count")
+    points = []
+    for population in sorted(populations):
+        for shards in sorted(shard_counts):
+            points.append(run_dirshard_point(
+                population, shards, scenario,
+                repeats=repeats, clock=clock,
+            ))
+    return points
+
+
+def dirshard_manifest(points: Sequence[DirshardPoint],
+                      scenario: DirshardScenario = DirshardScenario()):
+    """Package a sweep as a RunManifest (``dirshard.p{pop}.s{n}.*``).
+
+    Like :func:`scale_manifest`, the fingerprint covers the scenario
+    only, so a CI subset (one population, two shard counts) diffs
+    cleanly against the committed full trajectory.  Two counter
+    families should gate warn-only: the per-shard ``...share.{shard}``
+    load distribution (it moves whenever placement or the shard list
+    changes, which the fingerprint already guards) and
+    ``...regs_per_sec`` (higher is *better* there, while
+    :func:`~repro.obs.manifest.compare_manifests` treats growth as the
+    regression direction — ``...max_busy_seconds``, its exact inverse
+    dividend, carries the throughput gate).  ``python -m repro.cli
+    dirshard`` applies both exemptions.
+    """
+    from ..obs.manifest import RunManifest, config_fingerprint
+
+    counters = {}
+    for point in points:
+        prefix = f"dirshard.p{point.population}.s{point.shards}"
+        counters[f"{prefix}.wall_per_iteration"] = point.wall_seconds
+        counters[f"{prefix}.sim_seconds"] = point.sim_seconds
+        counters[f"{prefix}.registrations"] = float(point.registrations)
+        counters[f"{prefix}.lookups"] = float(point.lookups)
+        counters[f"{prefix}.served_units"] = float(point.served_units)
+        counters[f"{prefix}.busy_seconds"] = point.busy_seconds
+        counters[f"{prefix}.max_busy_seconds"] = point.max_busy_seconds
+        counters[f"{prefix}.regs_per_sec"] = point.registrations_per_second
+        for shard, share in sorted(point.shard_shares.items()):
+            counters[f"{prefix}.share.{shard}"] = share
+    return RunManifest(
+        fingerprint=config_fingerprint(scenario),
+        counters=dict(sorted(counters.items())),
+    )
+
+
+def format_dirshard_table(points: Sequence[DirshardPoint],
+                          title: Optional[str] = None) -> str:
+    """Human-readable sharding trajectory table."""
+    from .results import format_table
+
+    return format_table(
+        ["population", "shards", "wall/iter (s)", "dir registers",
+         "served units", "busy (s)", "max shard busy (s)",
+         "regs/sec"],
+        [[point.population, point.shards, round(point.wall_seconds, 4),
+          point.registrations, point.served_units,
+          round(point.busy_seconds, 3),
+          round(point.max_busy_seconds, 3),
+          round(point.registrations_per_second, 1)]
          for point in points],
         title=title,
     )

@@ -39,6 +39,14 @@ Subcommands
     ``--observe`` attaches the bounded metrics stack and reports its
     peak telemetry memory per point; ``--progress FILE`` streams
     heartbeat JSONL (and a stderr line) while the sweep runs.
+``dirshard``
+    Directory-sharding sweep: run the cohort-modeled scenario at each
+    ``--populations`` x ``--shards`` point and print the sustained
+    registrations/sec trajectory (register count over the busiest
+    shard's serialized seconds).  Optionally write the manifest and
+    diff it against a committed baseline
+    (``benchmarks/BENCH_dirshard.json``); per-shard load-share
+    counters are always compared warn-only (see docs/SCALING.md).
 ``status``
     Summarize the heartbeats of a live or finished run from a
     ``--progress`` JSONL file: last iteration, sim clock, event rate
@@ -110,13 +118,19 @@ from .analysis import (
     BenchRecord,
     BenchTrajectory,
     DEFAULT_BENCH_THRESHOLD,
+    DEFAULT_DIRSHARD_POPULATIONS,
     DEFAULT_POPULATIONS,
+    DEFAULT_SHARD_COUNTS,
+    DirshardScenario,
     ScaleScenario,
     diagnose_runs,
+    dirshard_manifest,
+    format_dirshard_table,
     format_scale_table,
     format_table,
     load_run_artifact,
     optimal_providers,
+    run_dirshard_sweep,
     run_scale_sweep,
     scale_manifest,
 )
@@ -430,6 +444,55 @@ def build_parser() -> argparse.ArgumentParser:
     scale.add_argument("--progress", default=None, metavar="JSONL",
                        help="stream heartbeat records to this JSONL "
                             "file (and stderr) while the sweep runs")
+
+    dirshard = subparsers.add_parser(
+        "dirshard",
+        help="directory-sharding sweep (registrations/sec vs shard "
+             "count); optionally diff against a committed "
+             "BENCH_dirshard.json",
+    )
+    dirshard.add_argument("--populations", type=int, nargs="+",
+                          default=list(DEFAULT_DIRSHARD_POPULATIONS),
+                          help="total trainer populations to sweep")
+    dirshard.add_argument("--shards", type=int, nargs="+",
+                          default=list(DEFAULT_SHARD_COUNTS),
+                          help="directory shard counts to sweep "
+                               "(1 = classic single server)")
+    dirshard.add_argument("--replication", type=int, default=1,
+                          help="replicas per key range (capped at the "
+                               "shard count)")
+    dirshard.add_argument("--placement", default="modulo",
+                          choices=["modulo", "consistent-hash"],
+                          help="shard placement policy (modulo keeps "
+                               "load balanced at every shard count; "
+                               "see docs/SCALING.md)")
+    dirshard.add_argument("--sample", type=int, default=16,
+                          help="exactly-simulated trainers per point")
+    dirshard.add_argument("--cohorts", type=int, default=16,
+                          help="statistical cohorts for the remainder")
+    dirshard.add_argument("--partitions", type=int, default=8)
+    dirshard.add_argument("--params", type=int, default=40_000)
+    dirshard.add_argument("--ipfs-nodes", type=int, default=8)
+    dirshard.add_argument("--bandwidth-mbps", type=float, default=10.0)
+    dirshard.add_argument("--processing-delay", type=float, default=2e-5,
+                          help="directory serialization seconds per "
+                               "request unit (the work sharding divides)")
+    dirshard.add_argument("--iterations", type=int, default=1,
+                          help="simulated rounds per point")
+    dirshard.add_argument("--repeats", type=int, default=1,
+                          help="wall-clock repeats per point (min is kept)")
+    dirshard.add_argument("--seed", type=int, default=7)
+    dirshard.add_argument("--output", default=None,
+                          help="write the sweep manifest JSON here")
+    dirshard.add_argument("--baseline", default=None,
+                          help="committed manifest to diff against "
+                               "(e.g. benchmarks/BENCH_dirshard.json)")
+    dirshard.add_argument("--threshold", type=float, default=0.20,
+                          help="relative regression tolerance vs "
+                               "baseline (shard shares are always "
+                               "warn-only)")
+    dirshard.add_argument("--warn-only", action="store_true",
+                          help="report regressions but exit 0")
 
     status = subparsers.add_parser(
         "status",
@@ -1052,6 +1115,52 @@ def _run_scale(args) -> int:
     return 0
 
 
+def _run_dirshard(args) -> int:
+    scenario = DirshardScenario(
+        exact_trainers=args.sample,
+        cohorts=args.cohorts,
+        num_partitions=args.partitions,
+        model_params=args.params,
+        num_ipfs_nodes=args.ipfs_nodes,
+        bandwidth_mbps=args.bandwidth_mbps,
+        iterations=args.iterations,
+        seed=args.seed,
+        replication=args.replication,
+        placement=args.placement,
+        processing_delay=args.processing_delay,
+    )
+    points = run_dirshard_sweep(args.populations, args.shards,
+                                scenario=scenario, repeats=args.repeats)
+    print(format_dirshard_table(
+        points,
+        title=f"Directory sharding ({scenario.placement} placement, "
+              f"replication {scenario.replication}, "
+              f"{scenario.processing_delay:g}s/unit serialization)",
+    ))
+    manifest = dirshard_manifest(points, scenario)
+    if args.output:
+        manifest.write(args.output)
+        print(f"manifest written to {args.output}")
+    if args.baseline:
+        baseline = RunManifest.load(args.baseline)
+        # Two counter families never gate: load shares (they move
+        # whenever the shard list or placement changes, which the
+        # fingerprint already guards) and regs_per_sec (higher is
+        # *better* there, while the manifest diff treats growth as the
+        # regression direction — max_busy_seconds, its exact inverse
+        # dividend, carries the throughput gate instead).
+        keys = set(manifest.counters) | set(baseline.counters)
+        diff = compare_manifests(
+            baseline, manifest, threshold=args.threshold,
+            thresholds={k: float("inf") for k in keys
+                        if ".share." in k or k.endswith(".regs_per_sec")},
+        )
+        print(diff.format())
+        if diff.has_regressions and not args.warn_only:
+            return 1
+    return 0
+
+
 def _run_profile(args) -> int:
     from .core import CohortPlan
 
@@ -1240,6 +1349,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_metrics(args)
     if args.command == "scale":
         return _run_scale(args)
+    if args.command == "dirshard":
+        return _run_dirshard(args)
     if args.command == "status":
         return _run_status(args)
     if args.command == "profile":

@@ -9,6 +9,10 @@ Public surface:
 - :class:`Address`, :class:`ModelPartitioner`, :class:`IterationSchedule`.
 - :class:`CohortPlan` — scale a session past its exact trainer sample by
   modeling the remaining population statistically per cohort.
+- :class:`DirectoryProfile` — deploy the directory as N consistent-hash
+  shards (:class:`ShardedDirectory` server group, :class:`ShardRouter`
+  client); :class:`Directory` is the abstract protocol both the classic
+  client and the router implement.
 - :class:`PartitionCommitter` — verifiable-aggregation crypto glue.
 - adversary behaviours: :class:`DropGradientsBehavior`,
   :class:`AlterUpdateBehavior`, :class:`LazyBehavior`.
@@ -34,10 +38,18 @@ from .bootstrapper import (
 from .cohort import CohortCoordinator, CohortPlan
 from .config import ProtocolConfig
 from .directory import (
+    Directory,
     DirectoryClient,
     DirectoryEntry,
     DirectoryService,
     RejectionRecord,
+)
+from .dirshard import (
+    DirectoryProfile,
+    ShardMap,
+    ShardRouter,
+    ShardedDirectory,
+    directory_key,
 )
 from .offload import (
     SnapshotPublisher,
@@ -68,8 +80,10 @@ __all__ = [
     "CohortCoordinator",
     "CohortPlan",
     "CommitmentCostModel",
+    "Directory",
     "DirectoryClient",
     "DirectoryEntry",
+    "DirectoryProfile",
     "DirectoryService",
     "DropGradientsBehavior",
     "FLSession",
@@ -85,10 +99,14 @@ __all__ = [
     "RejectionRecord",
     "ReplayUpdateBehavior",
     "SessionMetrics",
+    "ShardMap",
+    "ShardRouter",
+    "ShardedDirectory",
     "SnapshotPublisher",
     "SnapshotReader",
     "Trainer",
     "accumulate_cids",
+    "directory_key",
     "decode_snapshot",
     "encode_snapshot",
     "UPDATE",

@@ -77,6 +77,7 @@ class Aggregator:
         retry: Optional[RetryPolicy] = None,
         directory_request_timeout: Optional[float] = None,
         ipfs_request_timeout: float = 120.0,
+        directory_factory=None,
     ):
         self.name = name
         self.sim = sim
@@ -94,10 +95,18 @@ class Aggregator:
                                request_timeout=ipfs_request_timeout,
                                chunk_size=config.chunk_size,
                                retry=retry)
-        self.directory = DirectoryClient(
-            name, transport, retry=retry,
-            request_timeout=directory_request_timeout,
-        )
+        #: Directory access behind the abstract protocol (see
+        #: :class:`repro.core.directory.Directory`).
+        if directory_factory is None:
+            self.directory = DirectoryClient(
+                name, transport, retry=retry,
+                request_timeout=directory_request_timeout,
+            )
+        else:
+            self.directory = directory_factory(
+                name, transport, retry=retry,
+                request_timeout=directory_request_timeout,
+            )
         self.cost_model = CommitmentCostModel(config.commit_seconds_per_param)
         self.dht = dht
         #: Child processes of the current round (download fan-out).

@@ -36,19 +36,10 @@ import numpy as np
 
 from ..net.bandwidth import TransferAbortedError
 from ..obs.events import CohortLoadApplied
-from .directory import (
-    KIND_LOOKUP_COHORT,
-    KIND_REGISTER_COHORT,
-    QUERY_SIZE,
-    REGISTER_SIZE,
-)
+from .directory import Directory, DirectoryClient
 from .schedule import IterationSchedule
 
 __all__ = ["CohortPlan", "CohortCoordinator"]
-
-#: Incremental wire bytes per additional record in a bulk registration,
-#: matching :meth:`~repro.core.directory.DirectoryClient.register_batch`.
-_BATCH_RECORD_SIZE = 96
 
 
 @dataclass(frozen=True)
@@ -103,7 +94,8 @@ class CohortCoordinator:
     def __init__(self, name: str, sim, transport, network,
                  config, members: int, upload_bytes_per_trainer: float,
                  download_bytes_per_trainer: float, storage_node: str,
-                 directory_name: str = "directory", seed: int = 0):
+                 directory_name: str = "directory", seed: int = 0,
+                 directory: Optional[Directory] = None):
         self.name = name
         self.sim = sim
         self.network = network
@@ -115,6 +107,15 @@ class CohortCoordinator:
         self.directory_name = directory_name
         self.seed = seed
         self.endpoint = transport.endpoint(name)
+        #: Directory access behind the abstract protocol.  Built bare
+        #: (no retry policy, no timeout): cohort bulk load either lands
+        #: or the cohort degrades silently, matching the pre-interface
+        #: direct sends byte for byte.
+        self.directory: Directory = (
+            directory if directory is not None
+            else DirectoryClient(name, transport,
+                                 directory_name=directory_name)
+        )
         #: Rounds whose full load (register + upload + lookup + download)
         #: was applied.
         self.completed_iterations = 0
@@ -141,11 +142,9 @@ class CohortCoordinator:
             return  # the whole cohort missed the round's upload window
         registrations = self.members * config.num_partitions
         try:
-            yield from self.endpoint.request(
-                self.directory_name, KIND_REGISTER_COHORT,
-                payload={"count": registrations, "cohort": self.name},
-                size=REGISTER_SIZE
-                + _BATCH_RECORD_SIZE * max(0, registrations - 1),
+            yield from self.directory.register_cohort(
+                iteration=schedule.iteration, members=self.members,
+                num_partitions=config.num_partitions, cohort=self.name,
             )
             yield self.network.transfer(
                 self.name, self.storage_node,
@@ -155,10 +154,9 @@ class CohortCoordinator:
             if remaining > 0:
                 yield self.sim.timeout(remaining)
             lookups = self.members * config.num_partitions
-            yield from self.endpoint.request(
-                self.directory_name, KIND_LOOKUP_COHORT,
-                payload={"count": lookups, "cohort": self.name},
-                size=QUERY_SIZE,
+            yield from self.directory.lookup_cohort(
+                iteration=schedule.iteration, members=self.members,
+                num_partitions=config.num_partitions, cohort=self.name,
             )
             yield self.network.transfer(
                 self.storage_node, self.name,

@@ -13,8 +13,9 @@ register/lookup/accumulate queries.
 
 from __future__ import annotations
 
+import abc
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..crypto import Commitment
 from ..faults.retry import RetryExhaustedError, RetryPolicy
@@ -32,8 +33,9 @@ from ..sim import Simulator
 from .addressing import Address, GRADIENT, PARTIAL_UPDATE, UPDATE
 from .verification import PartitionCommitter
 
-__all__ = ["DirectoryClient", "DirectoryEntry", "DirectoryService",
-           "RejectionRecord"]
+__all__ = ["Directory", "DirectoryClient", "DirectoryEntry",
+           "DirectoryService", "RejectionRecord", "RequestSpec",
+           "REQUEST_TABLE"]
 
 KIND_REGISTER = "dir.register"
 KIND_REGISTER_BATCH = "dir.register.batch"
@@ -52,6 +54,73 @@ KIND_ACCUMULATED_REPLY = "dir.accumulated.reply"
 REGISTER_SIZE = 448
 QUERY_SIZE = 192
 ENTRY_WIRE_SIZE = 160
+#: Incremental wire bytes per additional record in a bulk registration
+#: (``register_batch``) or modeled cohort registration.
+BATCH_RECORD_SIZE = 96
+
+
+@dataclass(frozen=True)
+class RequestSpec:
+    """The wire shape of one directory operation.
+
+    One row per client verb: the message ``kind``, the retry-policy
+    ``operation`` label, the payload-dependent wire ``size``, and — for
+    operations addressed to a single ``(partition, iteration)`` key —
+    the routing ``key`` extractor the sharded router hashes.  Operations
+    with ``key=None`` span keys (batches, cohort bulk load) and are
+    split per shard by the router instead.
+    """
+
+    kind: str
+    operation: str
+    size: Callable[[Any], float]
+    key: Optional[Callable[[Any], Tuple[int, int]]] = None
+
+
+#: The single typed table every directory client verb goes through;
+#: shared by :class:`DirectoryClient` and the sharded router
+#: (:class:`repro.core.dirshard.ShardRouter`), so kind/size/operation
+#: plumbing lives in exactly one place.
+REQUEST_TABLE: Dict[str, RequestSpec] = {
+    "register": RequestSpec(
+        kind=KIND_REGISTER,
+        operation="directory.register",
+        size=lambda payload: REGISTER_SIZE,
+        key=lambda payload: (payload["address"].partition_id,
+                             payload["address"].iteration),
+    ),
+    "register_batch": RequestSpec(
+        kind=KIND_REGISTER_BATCH,
+        operation="directory.register",
+        size=lambda payload: REGISTER_SIZE + BATCH_RECORD_SIZE
+        * max(0, len(payload["records"]) - 1),
+    ),
+    "register_cohort": RequestSpec(
+        kind=KIND_REGISTER_COHORT,
+        operation="directory.register",
+        size=lambda payload: REGISTER_SIZE + BATCH_RECORD_SIZE
+        * max(0, int(payload["count"]) - 1),
+    ),
+    "lookup": RequestSpec(
+        kind=KIND_LOOKUP,
+        operation="directory.lookup",
+        size=lambda payload: QUERY_SIZE,
+        key=lambda payload: (payload["partition_id"],
+                             payload["iteration"]),
+    ),
+    "lookup_cohort": RequestSpec(
+        kind=KIND_LOOKUP_COHORT,
+        operation="directory.lookup",
+        size=lambda payload: QUERY_SIZE,
+    ),
+    "accumulated": RequestSpec(
+        kind=KIND_ACCUMULATED,
+        operation="directory.accumulated",
+        size=lambda payload: QUERY_SIZE,
+        key=lambda payload: (payload["partition_id"],
+                             payload["iteration"]),
+    ),
+}
 
 
 @dataclass
@@ -73,6 +142,56 @@ class RejectionRecord:
     address: Address
     reason: str
     rejected_at: float
+
+
+class Directory(abc.ABC):
+    """The abstract directory-access protocol participants code against.
+
+    Implemented by :class:`DirectoryClient` (one well-known server) and
+    :class:`repro.core.dirshard.ShardRouter` (key-ranged shards), so
+    ``trainer.py``/``aggregator.py``/``cohort.py`` never name a concrete
+    transport-level class.  Every method is a simulation generator
+    (``yield from`` it inside a process).
+    """
+
+    @abc.abstractmethod
+    def register(self, address: Address, cid: CID,
+                 commitment: Optional[Commitment] = None):
+        """Register one object; returns the ack payload."""
+
+    @abc.abstractmethod
+    def register_batch(self, records):
+        """Register many objects (Sec. VI batching); returns the ack."""
+
+    @abc.abstractmethod
+    def lookup(self, partition_id: int, iteration: int, kind: str,
+               aggregator_id: Optional[str] = None,
+               uploader_id: Optional[str] = None):
+        """Query entries; returns a list of result dicts."""
+
+    @abc.abstractmethod
+    def accumulated(self, partition_id: int, iteration: int,
+                    aggregator_id: Optional[str] = None):
+        """Fetch an accumulated commitment; returns (commitment, count)."""
+
+    def entries_for(self, partition_id: int, iteration: int, kind: str):
+        """All visible entries of one ``(partition, iteration, kind)``.
+
+        The remote counterpart of
+        :meth:`DirectoryService.entries_for`; result rows are the
+        ``lookup`` dicts (uploader, CID, commitment).
+        """
+        return (yield from self.lookup(partition_id, iteration, kind))
+
+    @abc.abstractmethod
+    def register_cohort(self, iteration: int, members: int,
+                        num_partitions: int, cohort: str):
+        """Charge the registration load of a statistical cohort."""
+
+    @abc.abstractmethod
+    def lookup_cohort(self, iteration: int, members: int,
+                      num_partitions: int, cohort: str):
+        """Charge the lookup load of a statistical cohort."""
 
 
 @dataclass
@@ -143,6 +262,15 @@ class DirectoryService:
         #: Query counters (Sec. VI worries about directory load).
         self.register_count = 0
         self.lookup_count = 0
+        #: Load ledger: request units dequeued (a cohort message stands
+        #: in for ``count`` units) and serialized server seconds spent.
+        self.served_units = 0
+        self.busy_seconds = 0.0
+        #: The shard this server is, when it is one of a
+        #: :class:`repro.core.dirshard.ShardedDirectory`'s replicas;
+        #: None for the classic single server.  Stamped onto
+        #: ``DirectoryRequest``/``CommitmentAccumulated`` events.
+        self.shard_label: Optional[str] = None
         self.endpoint = transport.endpoint(name)
         self._ipfs = IPFSClient(name, transport, dht)
         self._server = sim.process(self._serve(), name=f"directory:{name}")
@@ -172,6 +300,10 @@ class DirectoryService:
             entry for entry in self._entries.values()
             if entry.address.iteration < iteration
         ]
+
+    def inbox_depth(self) -> int:
+        """Requests queued behind the serve loop (load telemetry)."""
+        return len(self.endpoint.inbox.items)
 
     def accumulated_commitment(
         self, partition_id: int, iteration: int,
@@ -206,15 +338,18 @@ class DirectoryService:
                     DirectoryRequest, message.kind, self.sim.now):
                 bus.publish(DirectoryRequest(
                     at=self.sim.now, kind=message.kind,
+                    shard=self.shard_label,
                 ))
+            # A cohort message stands in for ``count`` individual
+            # requests; the load ledger charges it accordingly.
+            units = 1
+            if message.kind in (KIND_REGISTER_COHORT,
+                                KIND_LOOKUP_COHORT):
+                units = max(1, int(message.payload.get("count", 1)))
+            self.served_units += units
             if self.processing_delay > 0:
-                # Serialized server work: requests queue behind it.  A
-                # cohort message stands in for ``count`` individual
-                # requests and is charged accordingly.
-                units = 1
-                if message.kind in (KIND_REGISTER_COHORT,
-                                    KIND_LOOKUP_COHORT):
-                    units = max(1, int(message.payload.get("count", 1)))
+                # Serialized server work: requests queue behind it.
+                self.busy_seconds += self.processing_delay * units
                 yield self.sim.timeout(self.processing_delay * units)
             profiler = self.sim.profiler
             frame = (profiler.begin("directory", "serve", message.kind)
@@ -354,7 +489,10 @@ class DirectoryService:
     def _register_gradient(self, address: Address, cid: CID,
                            commitment: Optional[Commitment]) -> bool:
         """Record a gradient; False if past the iteration's cutoff."""
-        existing = self._entries.get(address)
+        # ``entry`` (not ``_entries.get``): a sharded replica must see a
+        # registration its peer already accepted, or a failover retry
+        # would accumulate the same commitment twice.
+        existing = self.entry(address)
         if existing is not None and existing.cid == cid:
             # Idempotent retry: the first registration landed but its ack
             # was lost.  Acknowledge without re-accumulating the
@@ -400,6 +538,7 @@ class DirectoryService:
                 commitment=commitment,
                 accumulated=accumulator.total,
                 count=accumulator.count,
+                shard=self.shard_label,
             ))
         if aggregator_id is not None:
             curve = self.committers[address.partition_id].curve
@@ -515,8 +654,8 @@ class DirectoryService:
         )
 
 
-class DirectoryClient:
-    """Participant-side helper for talking to the directory.
+class DirectoryClient(Directory):
+    """Participant-side helper for talking to one directory server.
 
     With ``request_timeout`` unset (the legacy default) every call waits
     for its response indefinitely — correct on honest infrastructure,
@@ -526,6 +665,10 @@ class DirectoryClient:
     :class:`~repro.faults.RetryExhaustedError` when the directory stays
     unreachable.  Server-side registration is idempotent, so a retried
     register whose first ack was lost is acknowledged harmlessly.
+
+    Every verb goes through :data:`REQUEST_TABLE` (one typed row per
+    operation); the sharded router reuses the same rows and request
+    machinery, overriding only destination selection.
     """
 
     def __init__(self, name: str, transport: Transport,
@@ -541,11 +684,21 @@ class DirectoryClient:
         self.retry = retry
         self.request_timeout = request_timeout
 
-    def _request(self, kind: str, payload, size: float, operation: str):
+    def _call(self, op: str, payload):
+        """Issue one table-driven operation (single well-known server)."""
+        spec = REQUEST_TABLE[op]
+        return (yield from self._request(
+            spec.kind, payload, spec.size(payload), spec.operation,
+        ))
+
+    def _request(self, kind: str, payload, size: float, operation: str,
+                 dst: Optional[str] = None):
         """One directory round-trip under the retry/timeout policy."""
+        if dst is None:
+            dst = self.directory_name
         if self.request_timeout is None:
             response = yield from self.endpoint.request(
-                self.directory_name, kind, payload=payload, size=size,
+                dst, kind, payload=payload, size=size,
             )
             return response.payload
         policy = self.retry
@@ -554,7 +707,7 @@ class DirectoryClient:
         for attempt in range(attempts):
             request_id = transport.next_request_id()
             transport.send(Message(
-                src=self.name, dst=self.directory_name, kind=kind,
+                src=self.name, dst=dst, kind=kind,
                 payload=payload, size=size, request_id=request_id,
             ))
             response_event = self.endpoint.inbox.get(
@@ -579,13 +732,9 @@ class DirectoryClient:
     def register(self, address: Address, cid: CID,
                  commitment: Optional[Commitment] = None):
         """Register an object; returns the ack payload."""
-        return (yield from self._request(
-            KIND_REGISTER,
-            payload={"address": address, "cid": cid,
-                     "commitment": commitment},
-            size=REGISTER_SIZE,
-            operation="directory.register",
-        ))
+        return (yield from self._call("register", {
+            "address": address, "cid": cid, "commitment": commitment,
+        }))
 
     def register_batch(self, records):
         """Register many objects in one message (Sec. VI batching).
@@ -597,42 +746,44 @@ class DirectoryClient:
         from .offload import accumulate_cids  # local import: avoid cycle
 
         accumulation = accumulate_cids([r["cid"] for r in records])
-        return (yield from self._request(
-            KIND_REGISTER_BATCH,
-            payload={"records": list(records),
-                     "accumulation": accumulation},
-            size=REGISTER_SIZE + 96 * max(0, len(records) - 1),
-            operation="directory.register",
-        ))
+        return (yield from self._call("register_batch", {
+            "records": list(records), "accumulation": accumulation,
+        }))
 
     def lookup(self, partition_id: int, iteration: int, kind: str,
                aggregator_id: Optional[str] = None,
                uploader_id: Optional[str] = None):
         """Query entries; returns a list of result dicts."""
-        return (yield from self._request(
-            KIND_LOOKUP,
-            payload={
-                "partition_id": partition_id,
-                "iteration": iteration,
-                "kind": kind,
-                "aggregator_id": aggregator_id,
-                "uploader_id": uploader_id,
-            },
-            size=QUERY_SIZE,
-            operation="directory.lookup",
-        ))
+        return (yield from self._call("lookup", {
+            "partition_id": partition_id,
+            "iteration": iteration,
+            "kind": kind,
+            "aggregator_id": aggregator_id,
+            "uploader_id": uploader_id,
+        }))
 
     def accumulated(self, partition_id: int, iteration: int,
                     aggregator_id: Optional[str] = None):
         """Fetch an accumulated commitment; returns (commitment, count)."""
-        payload = yield from self._request(
-            KIND_ACCUMULATED,
-            payload={
-                "partition_id": partition_id,
-                "iteration": iteration,
-                "aggregator_id": aggregator_id,
-            },
-            size=QUERY_SIZE,
-            operation="directory.accumulated",
-        )
+        payload = yield from self._call("accumulated", {
+            "partition_id": partition_id,
+            "iteration": iteration,
+            "aggregator_id": aggregator_id,
+        })
         return payload["commitment"], payload["count"]
+
+    def register_cohort(self, iteration: int, members: int,
+                        num_partitions: int, cohort: str):
+        """Charge a cohort's bulk registration load in one message."""
+        count = members * num_partitions
+        return (yield from self._call("register_cohort", {
+            "count": count, "cohort": cohort,
+        }))
+
+    def lookup_cohort(self, iteration: int, members: int,
+                      num_partitions: int, cohort: str):
+        """Charge a cohort's bulk lookup load in one message."""
+        count = members * num_partitions
+        return (yield from self._call("lookup_cohort", {
+            "count": count, "cohort": cohort,
+        }))

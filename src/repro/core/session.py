@@ -5,13 +5,15 @@ directory service and all participants from a :class:`ProtocolConfig`,
 then drives training iterations and collects the telemetry the paper's
 figures report.
 
-The deployment shape is described by a composable
-:class:`~repro.net.NetworkProfile` and an optional
-:class:`~repro.faults.FaultPlan`::
+The deployment shape is described by three composable profiles — a
+:class:`~repro.net.NetworkProfile`, an optional
+:class:`~repro.faults.FaultPlan` and a
+:class:`~repro.core.dirshard.DirectoryProfile`::
 
     session = FLSession(config, model_factory, datasets,
                         network=NetworkProfile(bandwidth_mbps=20.0),
-                        faults=FaultPlan.of(...))
+                        faults=FaultPlan.of(...),
+                        directory=DirectoryProfile(shards=4))
 
 The nine legacy network keyword arguments (``num_ipfs_nodes``,
 ``bandwidth_mbps``, ...) still work through a deprecation shim.
@@ -29,7 +31,8 @@ from ..faults import FaultInjector, FaultPlan, RetryExhaustedError, \
     RetryPolicy
 from ..ipfs import DHT, IPFSNode, KademliaDHT, PubSub, ReplicationCluster
 from ..ml import Dataset, Model
-from ..net import NetworkProfile, Testbed, build_testbed
+from ..net import NetworkProfile, Testbed, add_directory_shards, \
+    build_testbed
 from ..obs import TelemetryCollector
 from ..obs.events import IterationFinished, IterationStarted, \
     ParticipantDegraded
@@ -40,6 +43,8 @@ from .bootstrapper import Assignment, Bootstrapper, build_assignment
 from .cohort import CohortCoordinator, CohortPlan
 from .config import ProtocolConfig
 from .directory import DirectoryService
+from .dirshard import DirectoryProfile, ShardMap, ShardRouter, \
+    ShardedDirectory
 from .partition import ModelPartitioner
 from .schedule import IterationSchedule
 from .telemetry import IterationMetrics, SessionMetrics
@@ -59,6 +64,7 @@ class FLSession:
         datasets: Sequence[Dataset],
         network: Optional[NetworkProfile] = None,
         faults: Optional[FaultPlan] = None,
+        directory: Optional[DirectoryProfile] = None,
         behaviors: Optional[Dict[str, AggregatorBehavior]] = None,
         sim: Optional[Simulator] = None,
         cohort: Optional[CohortPlan] = None,
@@ -86,6 +92,14 @@ class FLSession:
             :class:`~repro.faults.FaultInjector` alongside the protocol.
             When set, the profile's retry policy and directory request
             timeout default on (so outages degrade rather than wedge).
+        directory:
+            How the directory service is deployed
+            (:class:`~repro.core.dirshard.DirectoryProfile`).  The
+            default — and any profile with ``shards=1`` — is the classic
+            single well-known server, byte-identical to pre-profile
+            sessions; ``shards >= 2`` runs one shard per key range on
+            its own host, with participants routing through a
+            :class:`~repro.core.dirshard.ShardRouter`.
         behaviors:
             Optional per-aggregator behaviours keyed by aggregator name
             ("aggregator-0", ...); unnamed aggregators are honest.
@@ -115,6 +129,14 @@ class FLSession:
                 raise TypeError(
                     "pass network=NetworkProfile(...) or the legacy "
                     "network keyword arguments, not both"
+                )
+            if "directory_processing_delay" in legacy:
+                # The directory knobs moved to their own profile.
+                warnings.warn(
+                    "FLSession's directory_processing_delay keyword is "
+                    "deprecated; pass directory=DirectoryProfile("
+                    "processing_delay=...) instead",
+                    DeprecationWarning, stacklevel=2,
                 )
             warnings.warn(
                 "FLSession's individual network keyword arguments are "
@@ -197,21 +219,77 @@ class FLSession:
             aggregator_names=self.testbed.aggregator_names,
             ipfs_names=self.testbed.ipfs_names,
         )
-        self.directory = DirectoryService(
-            self.sim,
-            self.testbed.transport,
-            self.dht,
-            name=self.testbed.directory_name,
-            committers=self.committers,
-            trainer_assignment=self.assignment.aggregator_of,
-            verifiable=config.verifiable and config.directory_verification,
-            expected_trainers=num_trainers,
-            processing_delay=profile.directory_processing_delay,
+        #: The resolved directory deployment profile.
+        self.directory_profile: DirectoryProfile = (
+            directory if directory is not None else DirectoryProfile()
         )
+        dir_profile = self.directory_profile
+        directory_delay = (
+            dir_profile.processing_delay
+            if dir_profile.processing_delay is not None
+            else profile.directory_processing_delay
+        )
+        #: Key placement when sharded; None on the single-server path.
+        self._shard_map: Optional[ShardMap] = None
+        if dir_profile.shards <= 1:
+            # The classic single well-known server — the exact pre-shard
+            # construction path, byte-identical under seeded replay.
+            self.directory = DirectoryService(
+                self.sim,
+                self.testbed.transport,
+                self.dht,
+                name=self.testbed.directory_name,
+                committers=self.committers,
+                trainer_assignment=self.assignment.aggregator_of,
+                verifiable=config.verifiable
+                and config.directory_verification,
+                expected_trainers=num_trainers,
+                processing_delay=directory_delay,
+            )
+        else:
+            shard_names = add_directory_shards(
+                self.testbed.network,
+                self.testbed.transport,
+                dir_profile.shards,
+                bandwidth_mbps=dir_profile.bandwidth_mbps,
+            )
+            self.directory = ShardedDirectory(
+                self.sim,
+                self.testbed.transport,
+                self.dht,
+                shard_names=shard_names,
+                committers=self.committers,
+                trainer_assignment=self.assignment.aggregator_of,
+                verifiable=config.verifiable
+                and config.directory_verification,
+                expected_trainers=num_trainers,
+                processing_delay=directory_delay,
+            )
+            self._shard_map = ShardMap(
+                shard_names,
+                replication=dir_profile.replication,
+                placement=dir_profile.placement,
+            )
         self.bootstrapper = Bootstrapper(
             self.sim, self.testbed.transport,
             name=self.testbed.directory_name,
         )
+
+        #: None on the single-server path (participants then build the
+        #: classic :class:`DirectoryClient` themselves — the byte-exact
+        #: legacy code path); a ShardRouter factory when sharded.
+        self._directory_factory = None
+        if self._shard_map is not None:
+            shard_map = self._shard_map
+
+            def directory_factory(name, transport, retry=None,
+                                  request_timeout=None):
+                return ShardRouter(
+                    name, transport, shard_map=shard_map,
+                    retry=retry, request_timeout=request_timeout,
+                )
+
+            self._directory_factory = directory_factory
 
         # -- participants ----------------------------------------------------------
         behaviors = behaviors or {}
@@ -233,6 +311,7 @@ class FLSession:
                 retry=profile.retry,
                 directory_request_timeout=profile.directory_request_timeout,
                 ipfs_request_timeout=profile.ipfs_request_timeout,
+                directory_factory=self._directory_factory,
             ))
         self.aggregators: List[Aggregator] = []
         for name in self.testbed.aggregator_names:
@@ -251,6 +330,7 @@ class FLSession:
                 retry=profile.retry,
                 directory_request_timeout=profile.directory_request_timeout,
                 ipfs_request_timeout=profile.ipfs_request_timeout,
+                directory_factory=self._directory_factory,
             ))
 
         # -- statistical cohorts (scaling beyond the exact sample) --------------
@@ -288,6 +368,15 @@ class FLSession:
                         index % len(self.testbed.ipfs_names)],
                     directory_name=self.testbed.directory_name,
                     seed=cohort.seed + index,
+                    directory=(
+                        None if self._directory_factory is None
+                        # Cohorts carry no retry policy (bulk load either
+                        # lands or the cohort degrades), so their routers
+                        # are built bare too.
+                        else self._directory_factory(
+                            name, self.testbed.transport
+                        )
+                    ),
                 ))
 
         #: Telemetry is an ordinary bus subscriber: the protocol publishes
@@ -455,6 +544,13 @@ class FLSession:
             for host in self.testbed.network.hosts()
         })
         extra: Dict[str, object] = {}
+        if self._shard_map is not None:
+            # Sharded mode only: a shards=1 profile must fingerprint
+            # identically to a session built with no profile at all.
+            extra["directory_shards"] = self.directory_profile.shards
+            extra["directory_replication"] = \
+                self.directory_profile.replication
+            extra["directory_placement"] = self.directory_profile.placement
         if self.cohorts:
             # Statistical mode only: an exact-mode session (sample = 100%)
             # must fingerprint identically to a plain per-trainer run.

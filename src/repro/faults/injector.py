@@ -69,6 +69,16 @@ class FaultInjector:
             if spec.kind in ("link_down", "degrade_link") \
                     and spec.target not in network:
                 raise ValueError(f"{label}: unknown host {spec.target!r}")
+            if spec.kind == "directory_brownout" \
+                    and spec.target is not None:
+                shard_names = getattr(
+                    self.session.directory, "shard_names", ()
+                )
+                if spec.target not in shard_names:
+                    raise ValueError(
+                        f"{label}: unknown directory shard "
+                        f"{spec.target!r} (shards: {list(shard_names)})"
+                    )
 
     def start(self) -> None:
         """Spawn one driver process per scheduled fault."""
@@ -173,11 +183,36 @@ class FaultInjector:
 
     def _directory_brownout(self, spec: FaultSpec):
         directory = self.session.directory
-        saved = directory.processing_delay
+        if spec.target is not None:
+            # Sharded directory, one shard named: only its key range
+            # degrades (validated against shard_names in _validate).
+            shard = directory.shard(spec.target)
+            saved_delay = shard.processing_delay
+            shard.processing_delay = spec.processing_delay
+
+            def heal():
+                shard.processing_delay = saved_delay
+
+            return heal
+        shards = getattr(directory, "shards", None)
+        if shards is not None:
+            # Whole-service brownout of a sharded directory: save each
+            # shard's own delay (they may have diverged under an earlier
+            # targeted fault) and restore them individually.
+            saved = [shard.processing_delay for shard in shards]
+            for shard in shards:
+                shard.processing_delay = spec.processing_delay
+
+            def heal():
+                for shard, delay in zip(shards, saved):
+                    shard.processing_delay = delay
+
+            return heal
+        saved_delay = directory.processing_delay
         directory.processing_delay = spec.processing_delay
 
         def heal():
-            directory.processing_delay = saved
+            directory.processing_delay = saved_delay
 
         return heal
 

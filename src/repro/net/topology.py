@@ -17,7 +17,8 @@ from .network import Network
 from .transport import Transport
 from .units import mbps
 
-__all__ = ["Testbed", "build_testbed", "uniform_network"]
+__all__ = ["Testbed", "add_directory_shards", "build_testbed",
+           "uniform_network"]
 
 
 @dataclass
@@ -41,6 +42,36 @@ def uniform_network(sim: Simulator, names: List[str], bandwidth: float,
         network.add_host(name, up_bandwidth=bandwidth,
                          down_bandwidth=bandwidth)
     return network
+
+
+def add_directory_shards(
+    network: Network,
+    transport: Transport,
+    count: int,
+    bandwidth_mbps: Optional[float] = None,
+    name_prefix: str = "directory-shard",
+) -> List[str]:
+    """Add ``count`` directory-shard hosts to an existing testbed.
+
+    Each shard gets its own host and endpoint (``directory-shard-0``,
+    ...) so the network model prices per-shard load and queueing; like
+    the single well-known server, shard links default to unconstrained
+    (directory traffic is metadata-only) unless ``bandwidth_mbps`` pins
+    them.  Returns the shard host names in placement order.
+    """
+    if count < 1:
+        raise ValueError("need at least one directory shard")
+    bandwidth = (
+        math.inf if bandwidth_mbps is None else mbps(bandwidth_mbps)
+    )
+    names = []
+    for index in range(count):
+        name = f"{name_prefix}-{index}"
+        network.add_host(name, up_bandwidth=bandwidth,
+                         down_bandwidth=bandwidth)
+        transport.endpoint(name)
+        names.append(name)
+    return names
 
 
 def build_testbed(

@@ -318,7 +318,8 @@ class QueueRunawayDetector(Detector):
         self._armed = True
 
     def _depth(self) -> int:
-        return len(self.directory.endpoint.inbox.items)
+        # Spans all shards on a sharded directory.
+        return self.directory.inbox_depth()
 
     def on_tick(self, now):
         if self.directory is None:

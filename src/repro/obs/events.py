@@ -156,10 +156,17 @@ class DhtLookup(Event):
 
 @dataclass(frozen=True)
 class DirectoryRequest(Event):
-    """The directory service dequeued one request for processing."""
+    """The directory service dequeued one request for processing.
+
+    ``shard`` names the owning shard when the directory is sharded
+    (:class:`~repro.core.dirshard.ShardedDirectory`); it stays ``None``
+    on the single well-known server so legacy consumers see identical
+    events.
+    """
 
     at: float
     kind: str
+    shard: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -414,6 +421,7 @@ class CommitmentAccumulated(Event):
     commitment: object
     accumulated: object
     count: int
+    shard: Optional[str] = None
 
 
 @dataclass(frozen=True)

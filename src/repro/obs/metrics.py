@@ -680,8 +680,10 @@ class ResourceSampler:
             self._series("ipfs.blockstore.objects").record(
                 now, total_objects)
         if self.directory is not None:
+            # inbox_depth() spans all shards when the directory is
+            # sharded; on the single server it is the inbox length.
             self._series("directory.queue.depth").record(
-                now, len(self.directory.endpoint.inbox.items))
+                now, self.directory.inbox_depth())
         # Refresh the registry's peak-memory account periodically rather
         # than every tick: the footprint walk is O(series + histograms)
         # and at cohort scale it dominated the sampler.  The cadence is

@@ -264,6 +264,72 @@ def test_scale_observed_with_progress_and_status(tmp_path, capsys):
     assert "p40" in status_out
 
 
+def test_dirshard_parser_defaults():
+    args = build_parser().parse_args(["dirshard"])
+    assert args.populations == [1_000, 100_000]
+    assert args.shards == [1, 2, 4]
+    assert args.placement == "modulo"
+    assert args.replication == 1
+    assert args.threshold == 0.20
+
+
+def test_dirshard_sweep_compares_clean_and_shares_never_gate(tmp_path,
+                                                             capsys):
+    """A small sweep diffs clean against its own rerun, and doctored
+    load-share counters only warn (the shares move with placement and
+    shard lists, which the fingerprint guards)."""
+    import json
+
+    baseline = tmp_path / "BENCH_dirshard.json"
+    small = ["dirshard", "--populations", "40", "--shards", "1", "2",
+             "--sample", "4", "--cohorts", "4", "--partitions", "2",
+             "--params", "2000", "--ipfs-nodes", "4"]
+    code = main(small + ["--output", str(baseline)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "regs/sec" in out
+    assert baseline.exists()
+
+    code = main(small + ["--baseline", str(baseline),
+                         "--threshold", "0.5"])
+    assert code == 0
+    assert "0 regression(s)" in capsys.readouterr().out
+
+    doctored = json.loads(baseline.read_text())
+    share_key = "dirshard.p40.s2.share.directory-shard-0"
+    assert share_key in doctored["counters"]
+    doctored["counters"][share_key] /= 100.0
+    baseline.write_text(json.dumps(doctored))
+    assert main(small + ["--baseline", str(baseline),
+                         "--threshold", "0.5"]) == 0
+
+
+def test_dirshard_detects_a_throughput_regression(tmp_path, capsys):
+    """A baseline doctored to claim a much less loaded busiest shard
+    must trip the gate (max_busy_seconds carries the throughput
+    direction); --warn-only downgrades it to exit 0."""
+    import json
+
+    baseline = tmp_path / "BENCH_dirshard.json"
+    small = ["dirshard", "--populations", "40", "--shards", "2",
+             "--sample", "4", "--cohorts", "4", "--partitions", "2",
+             "--params", "2000", "--ipfs-nodes", "4"]
+    assert main(small + ["--output", str(baseline)]) == 0
+    capsys.readouterr()
+
+    doctored = json.loads(baseline.read_text())
+    key = "dirshard.p40.s2.max_busy_seconds"
+    doctored["counters"][key] = doctored["counters"][key] / 1e6
+    baseline.write_text(json.dumps(doctored))
+
+    code = main(small + ["--baseline", str(baseline)])
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().out
+
+    assert main(small + ["--baseline", str(baseline),
+                         "--warn-only"]) == 0
+
+
 def test_status_missing_file_fails_cleanly(tmp_path, capsys):
     assert main(["status", str(tmp_path / "absent.jsonl")]) == 1
     capsys.readouterr()

@@ -156,7 +156,7 @@ def test_throughput_collapse_inert_without_expected_count():
 
 
 class _FakeDirectory:
-    """Quacks like Directory.endpoint.inbox.items for the depth probe."""
+    """Quacks like DirectoryService.inbox_depth() for the depth probe."""
 
     def __init__(self):
         class _Inbox:
@@ -166,6 +166,9 @@ class _FakeDirectory:
             inbox = _Inbox()
 
         self.endpoint = _Endpoint()
+
+    def inbox_depth(self):
+        return len(self.endpoint.inbox.items)
 
 
 def test_queue_runaway_fires_and_rearms_on_drain():
